@@ -1,0 +1,236 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablations DESIGN.md calls out. Each benchmark regenerates its
+// experiment on the simulated testbed and reports the reproduced
+// headline quantity as a custom metric (simulated microseconds, Mbps, or
+// utilization), so `go test -bench=.` doubles as the reproduction run.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+)
+
+// benchSemantics runs one transfer per iteration and reports the
+// simulated end-to-end latency and equivalent throughput.
+func benchSemantics(b *testing.B, s experiments.Setup, sem core.Semantics, bytes int) {
+	b.Helper()
+	var last experiments.Measurement
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.Measure(s, sem, bytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.ReportMetric(last.LatencyUS, "sim-us")
+	b.ReportMetric(last.ThroughputMbps(), "sim-Mbps")
+}
+
+// BenchmarkFigure3 regenerates the early-demultiplexing latency points
+// at 60 KB for every semantics (Figure 3's right edge, where the paper
+// quotes throughputs).
+func BenchmarkFigure3(b *testing.B) {
+	for _, sem := range core.AllSemantics() {
+		b.Run(sem.String(), func(b *testing.B) {
+			benchSemantics(b, experiments.Setup{Scheme: netsim.EarlyDemux}, sem, 61440)
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates the CPU utilization measurement.
+func BenchmarkFigure4(b *testing.B) {
+	for _, sem := range core.AllSemantics() {
+		b.Run(sem.String(), func(b *testing.B) {
+			s := experiments.Setup{Scheme: netsim.EarlyDemux}
+			var last experiments.Measurement
+			for i := 0; i < b.N; i++ {
+				m, err := experiments.Measure(s, sem, 61440)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			b.ReportMetric(last.Utilization()*100, "sim-util-%")
+		})
+	}
+}
+
+// BenchmarkFigure5 regenerates the short-datagram anchors: copy at its
+// minimum, and the half-page comparison between emulated copy and
+// emulated share.
+func BenchmarkFigure5(b *testing.B) {
+	cases := []struct {
+		name  string
+		sem   core.Semantics
+		bytes int
+	}{
+		{"copy-64B", core.Copy, 64},
+		{"emulated-copy-2KB", core.EmulatedCopy, 2048},
+		{"emulated-share-2KB", core.EmulatedShare, 2048},
+		{"emulated-copy-3KB-reverse-copyout", core.EmulatedCopy, 3000},
+		{"move-64B-zeroing", core.Move, 64},
+		{"emulated-move-64B-region-hiding", core.EmulatedMove, 64},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			benchSemantics(b, experiments.Setup{Scheme: netsim.EarlyDemux}, c.sem, c.bytes)
+		})
+	}
+}
+
+// BenchmarkFigure6 regenerates the pooled, application-aligned points.
+func BenchmarkFigure6(b *testing.B) {
+	for _, sem := range core.AllSemantics() {
+		b.Run(sem.String(), func(b *testing.B) {
+			benchSemantics(b, experiments.Setup{Scheme: netsim.Pooled}, sem, 61440)
+		})
+	}
+}
+
+// BenchmarkFigure7 regenerates the pooled, unaligned points: the
+// three-band split (no copies / one copy / two copies).
+func BenchmarkFigure7(b *testing.B) {
+	for _, sem := range core.AllSemantics() {
+		b.Run(sem.String(), func(b *testing.B) {
+			benchSemantics(b, experiments.Setup{Scheme: netsim.Pooled, AppOffset: 1000}, sem, 61440)
+		})
+	}
+}
+
+// BenchmarkFigureOutboard regenerates the predicted outboard points the
+// paper could not measure.
+func BenchmarkFigureOutboard(b *testing.B) {
+	for _, sem := range []core.Semantics{core.Copy, core.EmulatedCopy, core.EmulatedShare, core.Move} {
+		b.Run(sem.String(), func(b *testing.B) {
+			benchSemantics(b, experiments.Setup{Scheme: netsim.OutboardBuffering}, sem, 61440)
+		})
+	}
+}
+
+// BenchmarkTable6 regenerates the primitive-operation cost fits from
+// instrumented sweeps.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(experiments.Setup{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7 regenerates the estimated-versus-actual latency table.
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7(experiments.Setup{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable8 regenerates the cross-platform scaling table.
+func BenchmarkTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOC12 regenerates the Section 8 extrapolation and reports the
+// predicted emulated-copy throughput (the paper's headline: almost 3x
+// copy semantics).
+func BenchmarkOC12(b *testing.B) {
+	model := cost.NewModel(cost.MicronP166, cost.CreditNetOC12)
+	for _, sem := range []core.Semantics{core.Copy, core.EmulatedCopy, core.EmulatedShare, core.Move} {
+		b.Run(sem.String(), func(b *testing.B) {
+			benchSemantics(b, experiments.Setup{Model: model, Scheme: netsim.EarlyDemux}, sem, 61440)
+		})
+	}
+}
+
+// Ablation benches (DESIGN.md Section 5).
+
+func BenchmarkAblationWiring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWiring(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationAlignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationAlignment(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationThresholds(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationReverseCopyout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationReverseCopyout(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationOutputProtection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationOutputProtection(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPageout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPageout(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationChecksum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationChecksum(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThroughput measures sustained streaming throughput — the
+// extension that shows copy semantics becoming receiver-CPU-bound at
+// OC-12 while every other semantics fills the pipe.
+func BenchmarkThroughput(b *testing.B) {
+	nets := []cost.Network{cost.CreditNetOC3, cost.CreditNetOC12}
+	sems := []core.Semantics{core.Copy, core.EmulatedCopy, core.EmulatedShare}
+	for _, net := range nets {
+		model := cost.NewModel(cost.MicronP166, net)
+		for _, sem := range sems {
+			b.Run(net.Name+"/"+sem.String(), func(b *testing.B) {
+				var last experiments.ThroughputResult
+				for i := 0; i < b.N; i++ {
+					r, err := experiments.Throughput(
+						experiments.Setup{Model: model, Scheme: netsim.EarlyDemux}, sem, 61440, 12)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.ReportMetric(last.Mbps, "sim-Mbps")
+			})
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command geniebench regenerates every table and figure of the paper's
+// evaluation and prints them next to the published values.
+//
+// Usage:
+//
+//	geniebench            # everything
+//	geniebench -figures   # Figures 3-7 and the outboard prediction
+//	geniebench -tables    # Tables 1, 5, 6, 7, 8 and the OC-12 prediction
+//	geniebench -ablations # ablations of Genie's design choices
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cost"
+	"repro/internal/experiments"
+)
+
+func main() {
+	figures := flag.Bool("figures", false, "regenerate the figures only")
+	tables := flag.Bool("tables", false, "regenerate the tables only")
+	ablations := flag.Bool("ablations", false, "run the ablations only")
+	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	flag.Parse()
+	all := !*figures && !*tables && !*ablations
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir); err != nil {
+			fail(err)
+		}
+	}
+	if all || *figures {
+		if err := printFigures(); err != nil {
+			fail(err)
+		}
+	}
+	if all || *tables {
+		if err := printTables(); err != nil {
+			fail(err)
+		}
+	}
+	if all || *ablations {
+		if err := printAblations(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "geniebench:", err)
+	os.Exit(1)
+}
+
+// writeCSVs regenerates the five figures and writes them as CSV files.
+func writeCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	gens := map[string]func(experiments.Setup) (experiments.Figure, error){
+		"figure3.csv": experiments.Figure3,
+		"figure4.csv": experiments.Figure4,
+		"figure5.csv": experiments.Figure5,
+		"figure6.csv": experiments.Figure6,
+		"figure7.csv": experiments.Figure7,
+	}
+	for name, gen := range gens {
+		fig, err := gen(experiments.Setup{})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		fig.CSV(f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printFigures() error {
+	var s experiments.Setup
+	for _, gen := range []func(experiments.Setup) (experiments.Figure, error){
+		experiments.Figure3, experiments.Figure4, experiments.Figure5,
+		experiments.Figure6, experiments.Figure7, experiments.FigureOutboard,
+	} {
+		fig, err := gen(s)
+		if err != nil {
+			return err
+		}
+		fig.Render(os.Stdout)
+		fmt.Println()
+	}
+	thr, err := experiments.Figure3Throughput(s)
+	if err != nil {
+		return err
+	}
+	thr.Render(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func printTables() error {
+	experiments.Table1().Render(os.Stdout)
+	fmt.Println()
+	experiments.Table5().Render(os.Stdout)
+	fmt.Println()
+
+	var s experiments.Setup
+	t6, err := experiments.Table6(s)
+	if err != nil {
+		return err
+	}
+	t6.Render(os.Stdout)
+	fmt.Println()
+
+	t7, err := experiments.Table7(s)
+	if err != nil {
+		return err
+	}
+	t7.Render(os.Stdout)
+	fmt.Println()
+
+	t8, err := experiments.Table8()
+	if err != nil {
+		return err
+	}
+	t8.Render(os.Stdout)
+	fmt.Println()
+
+	oc12, err := experiments.TableOC12()
+	if err != nil {
+		return err
+	}
+	oc12.Render(os.Stdout)
+	fmt.Println()
+
+	for _, net := range []cost.Network{cost.CreditNetOC3, cost.CreditNetOC12} {
+		tp, err := experiments.TableThroughput(net)
+		if err != nil {
+			return err
+		}
+		tp.Render(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func printAblations() error {
+	for _, gen := range []func() (experiments.Table, error){
+		experiments.AblationWiring,
+		experiments.AblationAlignment,
+		experiments.AblationThresholds,
+		experiments.AblationReverseCopyout,
+		experiments.AblationOutputProtection,
+		experiments.AblationChecksum,
+		experiments.AblationPageout,
+	} {
+		t, err := gen()
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+// Command geniefigs renders the paper's latency and utilization figures
+// as ASCII plots for a quick visual check of the curve shapes: the wide
+// copy-vs-everything gap of Figure 3, move's zeroing penalty in
+// Figure 5, and the three-band split of Figure 7.
+//
+// Usage:
+//
+//	geniefigs            # all figures
+//	geniefigs -fig 3     # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	which := flag.Int("fig", 0, "figure to render (3, 4, 5, 6, 7; 0 = all)")
+	flag.Parse()
+
+	gens := map[int]func(experiments.Setup) (experiments.Figure, error){
+		3: experiments.Figure3,
+		4: experiments.Figure4,
+		5: experiments.Figure5,
+		6: experiments.Figure6,
+		7: experiments.Figure7,
+	}
+	for _, id := range []int{3, 4, 5, 6, 7} {
+		if *which != 0 && *which != id {
+			continue
+		}
+		fig, err := gens[id](experiments.Setup{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geniefigs:", err)
+			os.Exit(1)
+		}
+		fig.Plot(os.Stdout, experiments.DefaultPlot)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,89 @@
+// Command genietrace traces one datagram transfer: it prints every
+// primitive data passing operation with its stage and charged latency,
+// then the end-to-end breakdown — the cycle-counter instrumentation of
+// the paper's Section 8, as a tool.
+//
+// Usage:
+//
+//	genietrace -sem "emulated copy" -bytes 61440 -scheme early
+//	genietrace -sem copy -bytes 2048 -scheme pooled -appoff 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+)
+
+func main() {
+	semName := flag.String("sem", "emulated copy", "buffering semantics")
+	length := flag.Int("bytes", 61440, "datagram length in bytes")
+	scheme := flag.String("scheme", "early", "input buffering: early, pooled, outboard")
+	devOff := flag.Int("devoff", 0, "device payload placement offset")
+	appOff := flag.Int("appoff", 0, "application buffer page offset")
+	flag.Parse()
+
+	sem, ok := parseSemantics(*semName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "genietrace: unknown semantics %q; one of:", *semName)
+		for _, s := range core.AllSemantics() {
+			fmt.Fprintf(os.Stderr, " %q", s.String())
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	var buffering netsim.InputBuffering
+	switch *scheme {
+	case "early":
+		buffering = netsim.EarlyDemux
+	case "pooled":
+		buffering = netsim.Pooled
+	case "outboard":
+		buffering = netsim.OutboardBuffering
+	default:
+		fmt.Fprintf(os.Stderr, "genietrace: unknown scheme %q (early, pooled, outboard)\n", *scheme)
+		os.Exit(2)
+	}
+
+	s := experiments.Setup{
+		Scheme:     buffering,
+		DevOff:     *devOff,
+		AppOffset:  *appOff,
+		Instrument: true,
+	}
+	m, err := experiments.Measure(s, sem, *length)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genietrace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("transfer: %v, %d bytes, %v buffering\n\n", sem, *length, buffering)
+	fmt.Printf("%10s %-10s %-46s %10s %12s\n", "at us", "stage", "operation", "bytes", "latency us")
+	fmt.Println("--------------------------------------------------------------------------------------------")
+	var opTotal float64
+	for _, r := range m.Records {
+		fmt.Printf("%10.1f %-10s %-46s %10d %12.2f\n",
+			float64(r.At), r.Stage, r.Op, r.Bytes, r.Latency.Micros())
+		opTotal += r.Latency.Micros()
+	}
+	fmt.Println("--------------------------------------------------------------------------------------------")
+	fmt.Printf("total data passing CPU time          %12.2f us (both hosts, all stages)\n", opTotal)
+	fmt.Printf("end-to-end latency                   %12.2f us\n", m.LatencyUS)
+	fmt.Printf("equivalent throughput                %12.2f Mbps\n", m.ThroughputMbps())
+	fmt.Printf("receiver CPU busy                    %12.2f us (%.1f%% utilization)\n",
+		m.RxCPUUS, m.Utilization()*100)
+	fmt.Printf("sender CPU busy                      %12.2f us\n", m.TxCPUUS)
+}
+
+func parseSemantics(name string) (core.Semantics, bool) {
+	for _, s := range core.AllSemantics() {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}

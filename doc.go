@@ -1,0 +1,13 @@
+// Package repro reproduces "Effects of Buffering Semantics on I/O
+// Performance" (Brustoloni & Steenkiste, OSDI '96) as a Go library.
+//
+// The public API lives in package repro/genie; the substrates (simulated
+// physical and virtual memory, ATM network, cost model) live under
+// internal/; the experiment harness that regenerates every table and
+// figure of the paper lives in internal/experiments and is driven by the
+// geniebench command and by the benchmarks in this package.
+//
+// See README.md for a guide, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-versus-measured
+// results.
+package repro

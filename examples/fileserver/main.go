@@ -1,0 +1,94 @@
+// Fileserver: a parallel-file-system-style RPC server — block reads over
+// a request-response protocol on a Genie channel. Clients fetch a 1 MB
+// file in 8 KB blocks; the example compares copy and emulated copy
+// semantics on total fetch time and server CPU, showing that the
+// buffering change is invisible to the RPC protocol.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro/genie"
+)
+
+const (
+	blockSize = 8192
+	numBlocks = 128 // 1 MB file
+)
+
+func main() {
+	fmt.Printf("RPC file fetch: %d blocks x %d KB over a windowed channel\n\n",
+		numBlocks, blockSize/1024)
+	fmt.Printf("%-20s %14s %14s\n", "semantics", "fetch ms", "blocks/s")
+	fmt.Println("--------------------------------------------------")
+	for _, sem := range []genie.Semantics{genie.Copy, genie.EmulatedCopy, genie.EmulatedShare} {
+		ms, err := fetch(sem)
+		if err != nil {
+			log.Fatalf("%v: %v", sem, err)
+		}
+		fmt.Printf("%-20s %14.2f %14.0f\n", sem, ms, float64(numBlocks)/(ms/1000))
+	}
+	fmt.Println("\nthe RPC protocol never changed; only the kernel's data passing did.")
+}
+
+func fetch(sem genie.Semantics) (ms float64, err error) {
+	net, err := genie.New(genie.WithMemory(2048))
+	if err != nil {
+		return 0, err
+	}
+	clientProc := net.HostA().NewProcess()
+	serverProc := net.HostB().NewProcess()
+	ec, es, err := net.NewChannel(clientProc, serverProc, 30, sem, blockSize+64, 4)
+	if err != nil {
+		return 0, err
+	}
+
+	// The server's "disk": block i filled with byte(i).
+	genie.ServeRPC(es, func(req []byte) []byte {
+		if len(req) != 4 {
+			return nil
+		}
+		blk := binary.BigEndian.Uint32(req)
+		data := make([]byte, blockSize)
+		for j := range data {
+			data[j] = byte(blk)
+		}
+		return data
+	}, func(err error) { log.Fatalf("server: %v", err) })
+
+	client := genie.NewRPCClient(ec)
+	start := net.Now()
+	fetched := 0
+	inflight := map[uint32]*genie.Call{}
+	next := 0
+	for fetched < numBlocks {
+		// Fill the window with block requests.
+		for next < numBlocks {
+			req := make([]byte, 4)
+			binary.BigEndian.PutUint32(req, uint32(next))
+			call, err := client.Go(req)
+			if err != nil {
+				break // window full; drain first
+			}
+			inflight[uint32(next)] = call
+			next++
+		}
+		net.Run()
+		for blk, call := range inflight {
+			if !call.Done {
+				continue
+			}
+			if call.Err != nil {
+				return 0, call.Err
+			}
+			if len(call.Reply) != blockSize || call.Reply[0] != byte(blk) {
+				return 0, fmt.Errorf("block %d: bad data", blk)
+			}
+			delete(inflight, blk)
+			fetched++
+		}
+	}
+	return net.Now().Sub(start).Millis(), nil
+}

@@ -1,0 +1,93 @@
+// Filetransfer: a parallel-file-system-style bulk transfer — one of the
+// I/O-intensive workloads the paper's introduction motivates. A 6 MB
+// file streams between hosts as 100 maximum-size (60 KB) datagrams; the
+// example compares every buffering semantics on total transfer time,
+// effective throughput, and receiver CPU time, showing how the choice
+// of semantics decides whether the CPU or the wire is the bottleneck.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/genie"
+)
+
+const (
+	chunk  = 15 * 4096 // 60 KB, the largest page-multiple AAL5 datagram
+	chunks = 100       // 6 MB file
+)
+
+func main() {
+	fmt.Printf("transferring a %.1f MB file as %d x 60 KB datagrams\n\n",
+		float64(chunk*chunks)/(1<<20), chunks)
+	fmt.Printf("%-20s %12s %14s %14s\n", "semantics", "total ms", "goodput Mbps", "rx CPU ms")
+	fmt.Println("----------------------------------------------------------------")
+
+	for _, sem := range genie.AllSemantics() {
+		totalUS, rxCPUUS, err := run(sem)
+		if err != nil {
+			log.Fatalf("%v: %v", sem, err)
+		}
+		fmt.Printf("%-20s %12.1f %14.1f %14.1f\n",
+			sem, totalUS/1000, float64(chunk*chunks)*8/totalUS, rxCPUUS/1000)
+	}
+	fmt.Println("\ncopy semantics spends the CPU on memcpy; everything else rides the wire.")
+}
+
+func run(sem genie.Semantics) (totalUS, rxCPUUS float64, err error) {
+	net, err := genie.New(genie.WithMemory(1024))
+	if err != nil {
+		return 0, 0, err
+	}
+	sender := net.HostA().NewProcess()
+	receiver := net.HostB().NewProcess()
+
+	// File contents live in one large application buffer (or, for the
+	// system-allocated semantics, per-chunk I/O buffers).
+	var src genie.Addr
+	if !sem.SystemAllocated() {
+		src, err = sender.Brk(chunk)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	dst := genie.Addr(0)
+	if !sem.SystemAllocated() {
+		if dst, err = receiver.Brk(chunk); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	block := make([]byte, chunk)
+	start := net.Now()
+	for i := 0; i < chunks; i++ {
+		for j := range block {
+			block[j] = byte(i + j)
+		}
+		sva := src
+		if sem.SystemAllocated() {
+			r, err := sender.AllocIOBuffer(chunk)
+			if err != nil {
+				return 0, 0, err
+			}
+			sva = r.Start()
+		}
+		if err := sender.Write(sva, block); err != nil {
+			return 0, 0, err
+		}
+		_, in, err := net.Transfer(sender, receiver, 1, sem, sva, dst, chunk)
+		if err != nil {
+			return 0, 0, err
+		}
+		rxCPUUS += in.ReceiverCPU
+		// Consume and release system-allocated buffers so memory and
+		// address space stay bounded across the whole file.
+		if in.Region != nil {
+			if err := receiver.FreeIOBuffer(in.Region); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return net.Now().Sub(start).Micros(), rxCPUUS, nil
+}

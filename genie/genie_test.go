@@ -1,0 +1,192 @@
+package genie_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/genie"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	net, err := genie.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := net.HostA().NewProcess()
+	receiver := net.HostB().NewProcess()
+
+	payload := []byte("hello through emulated copy semantics")
+	buf, err := sender.Brk(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Write(buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := receiver.Brk(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, in, err := net.Transfer(sender, receiver, 1, genie.EmulatedCopy, buf, dst, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := receiver.Read(in.Addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if !(in.CompletedAt > out.StartedAt) {
+		t.Fatal("timestamps not ordered")
+	}
+}
+
+func TestOptions(t *testing.T) {
+	net, err := genie.New(
+		genie.WithBuffering(genie.Pooled),
+		genie.WithPlatform(genie.AlphaStation255),
+		genie.WithDeviceOffset(40),
+		genie.WithMemory(256),
+		genie.WithConfig(genie.DefaultConfig()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.PageSize() != 8192 {
+		t.Fatalf("Alpha page size = %d, want 8192", net.PageSize())
+	}
+	if net.HostB().PreferredAlignment() != 40 {
+		t.Fatal("device offset not propagated")
+	}
+	if net.HostA().Name() == net.HostB().Name() {
+		t.Fatal("hosts share a name")
+	}
+	if net.HostA().FreeFrames() <= 0 {
+		t.Fatal("no free frames")
+	}
+
+	sender := net.HostA().NewProcess()
+	receiver := net.HostB().NewProcess()
+	payload := bytes.Repeat([]byte{0x42}, 8192)
+	buf, _ := sender.Brk(len(payload))
+	if err := sender.Write(buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := receiver.Brk(2 * len(payload))
+	_, in, err := net.Transfer(sender, receiver, 9, genie.EmulatedShare, buf, dst, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := receiver.Read(in.Addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted on Alpha/pooled path")
+	}
+}
+
+func TestOC12Option(t *testing.T) {
+	slow, err := genie.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := genie.New(genie.WithOC12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(n *genie.Network) float64 {
+		s := n.HostA().NewProcess()
+		r := n.HostB().NewProcess()
+		const length = 15 * 4096
+		buf, _ := s.Brk(length)
+		if err := s.Write(buf, make([]byte, length)); err != nil {
+			t.Fatal(err)
+		}
+		dst, _ := r.Brk(length)
+		out, in, err := n.Transfer(s, r, 1, genie.EmulatedCopy, buf, dst, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in.CompletedAt.Sub(out.StartedAt).Micros()
+	}
+	if l3, l12 := run(slow), run(fast); l12 >= l3*0.5 {
+		t.Fatalf("OC-12 latency %.0f not well below OC-3's %.0f", l12, l3)
+	}
+}
+
+func TestSystemAllocatedAPI(t *testing.T) {
+	net, err := genie.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := net.HostA().NewProcess()
+	receiver := net.HostB().NewProcess()
+	r, err := sender.AllocIOBuffer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Write(r.Start(), []byte("moved")); err != nil {
+		t.Fatal(err)
+	}
+	_, in, err := net.Transfer(sender, receiver, 1, genie.Move, r.Start(), 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Region == nil {
+		t.Fatal("move input did not return a region")
+	}
+	got := make([]byte, 5)
+	if err := receiver.Read(in.Addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "moved" {
+		t.Fatalf("got %q", got)
+	}
+	if err := receiver.FreeIOBuffer(in.Region); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllSemanticsThroughFacade(t *testing.T) {
+	for _, sem := range genie.AllSemantics() {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			net, err := genie.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sender := net.HostA().NewProcess()
+			receiver := net.HostB().NewProcess()
+			const length = 2 * 4096
+			payload := bytes.Repeat([]byte{7}, length)
+			var src, dst genie.Addr
+			if sem.SystemAllocated() {
+				r, err := sender.AllocIOBuffer(length)
+				if err != nil {
+					t.Fatal(err)
+				}
+				src = r.Start()
+			} else {
+				src, _ = sender.Brk(length)
+				dst, _ = receiver.Brk(length)
+			}
+			if err := sender.Write(src, payload); err != nil {
+				t.Fatal(err)
+			}
+			_, in, err := net.Transfer(sender, receiver, 1, sem, src, dst, length)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, length)
+			if err := receiver.Read(in.Addr, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("payload corrupted")
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package checksum
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRFC1071Example checks the worked example from RFC 1071 section 3:
+// bytes 00 01 f2 03 f4 f5 f6 f7 sum to ddf2 (before complement).
+func TestRFC1071Example(t *testing.T) {
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	acc := Accumulate(0, data)
+	folded := ^Fold(acc) // undo the final complement to expose the sum
+	if folded != 0xddf2 {
+		t.Fatalf("ones-complement sum = %#x, want 0xddf2", folded)
+	}
+}
+
+func TestSumKnownValues(t *testing.T) {
+	cases := []struct {
+		data []byte
+		want uint16
+	}{
+		{[]byte{}, 0xffff},
+		{[]byte{0x00, 0x00}, 0xffff},
+		{[]byte{0xff, 0xff}, 0x0000},
+		{[]byte{0x01}, 0xfeff}, // odd length pads a zero byte
+	}
+	for _, c := range cases {
+		if got := Sum(c.data); got != c.want {
+			t.Errorf("Sum(%x) = %#04x, want %#04x", c.data, got, c.want)
+		}
+	}
+}
+
+func TestVerify(t *testing.T) {
+	data := []byte("the quick brown fox")
+	sum := Sum(data)
+	if !Verify(data, sum) {
+		t.Fatal("checksum does not verify its own data")
+	}
+	data[3] ^= 0x40
+	if Verify(data, sum) {
+		t.Fatal("corrupted data verified")
+	}
+}
+
+func TestCopyAndSum(t *testing.T) {
+	src := []byte("integrate copy with checksumming!")
+	dst := make([]byte, len(src))
+	sum := CopyAndSum(dst, src)
+	if !bytes.Equal(dst, src) {
+		t.Fatal("CopyAndSum corrupted the copy")
+	}
+	if sum != Sum(src) {
+		t.Fatalf("CopyAndSum = %#04x, Sum = %#04x", sum, Sum(src))
+	}
+}
+
+func TestSumScattered(t *testing.T) {
+	whole := make([]byte, 10000)
+	for i := range whole {
+		whole[i] = byte(i * 11)
+	}
+	// Page-grained split (even offsets).
+	extents := [][]byte{whole[:4096], whole[4096:8192], whole[8192:]}
+	if got := SumScattered(extents); got != Sum(whole) {
+		t.Fatalf("scattered sum %#04x != whole sum %#04x", got, Sum(whole))
+	}
+}
+
+// Property: incremental accumulation over any even split equals the
+// whole-message checksum.
+func TestPropertyIncremental(t *testing.T) {
+	prop := func(data []byte, splitRaw uint16) bool {
+		split := int(splitRaw) % (len(data) + 1)
+		split &^= 1 // even offset
+		acc := Accumulate(0, data[:split])
+		acc = Accumulate(acc, data[split:])
+		return Fold(acc) == Sum(data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-byte corruption is detected.
+func TestPropertySingleByteCorruptionDetected(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(n)+2)
+		rng.Read(data)
+		sum := Sum(data)
+		i := rng.Intn(len(data))
+		// Flip to a value whose 16-bit word differs (ones-complement sums
+		// cannot distinguish 0x00 and 0xff in some positions only when
+		// the word value is unchanged, which a XOR never leaves).
+		old := data[i]
+		data[i] ^= byte(rng.Intn(255) + 1)
+		changed := data[i] != old
+		return !changed || !Verify(data, sum) ||
+			// 0x0000 vs 0xffff word ambiguity is inherent to
+			// ones-complement arithmetic; permit it.
+			ambiguous(old, data[i])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ambiguous reports the known ones-complement blind spot: a word
+// changing between +0 (0x0000) and -0 (0xffff) requires both bytes to
+// flip, so a single-byte change can only alias when... it cannot; kept
+// for documentation and future multi-byte corruption tests.
+func ambiguous(a, b byte) bool { return false }
+
+// Property: CopyAndSum always equals copy followed by Sum.
+func TestPropertyCopyAndSum(t *testing.T) {
+	prop := func(src []byte) bool {
+		dst := make([]byte, len(src))
+		sum := CopyAndSum(dst, src)
+		return bytes.Equal(dst, src) && sum == Sum(src)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSum60KB(b *testing.B) {
+	data := make([]byte, 61440)
+	b.SetBytes(61440)
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}
+
+func BenchmarkCopyAndSum60KB(b *testing.B) {
+	src := make([]byte, 61440)
+	dst := make([]byte, 61440)
+	b.SetBytes(61440)
+	for i := 0; i < b.N; i++ {
+		CopyAndSum(dst, src)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/vm"
+)
+
+func TestCancelReleasesResources(t *testing.T) {
+	for _, sem := range AllSemantics() {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := tb.B.Genie.NewProcess()
+			var va vm.Addr
+			if !sem.SystemAllocated() {
+				va, _ = p.Brk(2 * 4096)
+			}
+			free := tb.B.Phys.FreeFrames()
+			in, err := p.Input(1, sem, va, 2*4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !in.Cancel() {
+				t.Fatal("Cancel reported failure")
+			}
+			if !errors.Is(in.Err, ErrCancelled) || !in.Done {
+				t.Fatalf("cancelled input: done=%t err=%v", in.Done, in.Err)
+			}
+			if in.Cancel() {
+				t.Fatal("double cancel succeeded")
+			}
+			// Buffers and frames all returned (in-place semantics faulted
+			// pages into the app buffer, which remains — those frames are
+			// app memory, not I/O resources).
+			wantFree := free
+			switch sem {
+			case Share, EmulatedShare:
+				wantFree -= 2 // referencing faulted the app pages in
+			case EmulatedMove, WeakMove, EmulatedWeakMove:
+				wantFree -= 2 // the cached region keeps its pages
+			case Move:
+				// The system buffer came from the kernel pool and went
+				// back; nothing else was allocated.
+			}
+			if got := tb.B.Phys.FreeFrames(); got != wantFree {
+				t.Errorf("free frames = %d, want %d", got, wantFree)
+			}
+			// No posting is left on the device.
+			if n := tb.B.NIC.PostedInputs(1); n != 0 {
+				t.Errorf("%d postings left on device", n)
+			}
+			// Frames hold no stray references.
+			if err := tb.B.Phys.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCancelMidQueue: cancelling the middle of three postings must not
+// skew the FIFO pairing between the device list and the input queue.
+func TestCancelMidQueue(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := tb.A.Genie.NewProcess()
+	receiver := tb.B.Genie.NewProcess()
+	const n = 4096
+	srcVA, _ := sender.Brk(n)
+
+	var ins []*InputOp
+	var dsts []vm.Addr
+	for i := 0; i < 3; i++ {
+		dst, _ := receiver.Brk(n)
+		dsts = append(dsts, dst)
+		in, err := receiver.Input(1, EmulatedCopy, dst, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, in)
+	}
+	if !ins[1].Cancel() {
+		t.Fatal("mid-queue cancel failed")
+	}
+	// Two sends: they must land in buffers 0 and 2, in that order.
+	for round, want := range []byte{0xA1, 0xB2} {
+		payload := bytes.Repeat([]byte{want}, n)
+		if err := sender.Write(srcVA, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sender.Output(1, EmulatedCopy, srcVA, n); err != nil {
+			t.Fatal(err)
+		}
+		tb.Run()
+		_ = round
+	}
+	if !ins[0].Done || ins[0].Err != nil || !ins[2].Done || ins[2].Err != nil {
+		t.Fatalf("surviving inputs: %+v %+v", ins[0].Err, ins[2].Err)
+	}
+	got := make([]byte, 1)
+	if err := receiver.Read(dsts[0], got); err != nil || got[0] != 0xA1 {
+		t.Fatalf("first survivor got %#x (%v)", got[0], err)
+	}
+	if err := receiver.Read(dsts[2], got); err != nil || got[0] != 0xB2 {
+		t.Fatalf("second survivor got %#x (%v)", got[0], err)
+	}
+	// The cancelled buffer was never written.
+	if err := receiver.Read(dsts[1], got); err != nil || got[0] != 0 {
+		t.Fatalf("cancelled buffer touched: %#x (%v)", got[0], err)
+	}
+}
+
+// TestCancelledRegionReturnsToCache: a cancelled system-allocated input
+// puts its cached region back, and the next input reuses it.
+func TestCancelledRegionReturnsToCache(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tb.B.Genie.NewProcess()
+	in1, err := p.Input(1, EmulatedWeakMove, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := in1.region
+	if !in1.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	in2, err := p.Input(1, EmulatedWeakMove, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.region != r {
+		t.Error("cancelled region not reused by the next input")
+	}
+	if tb.B.Genie.Stats().RegionsReused != 1 {
+		t.Error("no cache hit recorded")
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// This file provides a message-channel abstraction over the Genie data
+// path — the kind of communication layer the paper's motivating
+// applications (parallel file systems, supercomputing on workstation
+// clusters) build: a windowed, preposted, bidirectional channel whose
+// buffering semantics is chosen per endpoint.
+
+// Channel errors.
+var (
+	ErrChannelFull   = errors.New("core: channel send window full")
+	ErrMessageTooBig = errors.New("core: message exceeds channel buffer size")
+)
+
+// Message is one received datagram, borrowed from the channel until
+// Release is called (which reposts the receive buffer).
+type Message struct {
+	ep   *Endpoint
+	in   *InputOp
+	data []byte
+}
+
+// Data returns the message payload. The slice is a copy for weak
+// semantics safety; strong semantics could expose the buffer directly,
+// but a uniform API keeps applications semantics-agnostic — the paper's
+// transparency goal.
+func (m *Message) Data() []byte { return m.data }
+
+// CompletedAt returns the simulated time the message became available;
+// subtract the matching send's StartedAt for end-to-end latency.
+func (m *Message) CompletedAt() float64 { return float64(m.in.CompletedAt) }
+
+// Err returns the message's delivery error, if any.
+func (m *Message) Err() error { return m.in.Err }
+
+// Release returns the receive buffer to the channel window.
+func (m *Message) Release() error { return m.ep.repost(m.in) }
+
+// Endpoint is one end of a channel.
+type Endpoint struct {
+	p       *Process
+	peer    *Endpoint
+	port    int
+	sem     Semantics
+	bufSize int
+	window  int
+
+	onMessage func(*Message) // reactive delivery, bypassing the queue
+
+	txBufs []vm.Addr // rotating send buffers (application-allocated)
+	txNext int
+	// credits is credit-based flow control in the style of the Credit
+	// Net ATM network the paper ran on: each send consumes a credit;
+	// the credit returns when the receiver consumes the message and
+	// reposts its buffer, so the sender can never overrun the
+	// receiver's preposted window.
+	credits int
+
+	rxBufs    []vm.Addr // receive buffers (application-allocated)
+	completed []*Message
+}
+
+// NewChannel connects two processes (normally on different hosts of a
+// testbed) with a bidirectional message channel: each side preposts
+// `window` receive buffers of bufSize bytes on its own port and keeps a
+// matching set of send buffers.
+func NewChannel(a, b *Process, basePort int, sem Semantics, bufSize, window int) (*Endpoint, *Endpoint, error) {
+	if !sem.Valid() {
+		return nil, nil, fmt.Errorf("%w: %d", ErrBadSemantics, int(sem))
+	}
+	if bufSize <= 0 || window <= 0 {
+		return nil, nil, fmt.Errorf("core: NewChannel(bufSize=%d, window=%d)", bufSize, window)
+	}
+	ea := &Endpoint{p: a, port: basePort, sem: sem, bufSize: bufSize, window: window, credits: window}
+	eb := &Endpoint{p: b, port: basePort + 1, sem: sem, bufSize: bufSize, window: window, credits: window}
+	ea.peer, eb.peer = eb, ea
+	for _, e := range []*Endpoint{ea, eb} {
+		if err := e.setup(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ea, eb, nil
+}
+
+// setup allocates buffers and preposts the receive window.
+func (e *Endpoint) setup() error {
+	if !e.sem.SystemAllocated() {
+		for i := 0; i < e.window; i++ {
+			tx, err := e.p.Brk(e.bufSize)
+			if err != nil {
+				return err
+			}
+			e.txBufs = append(e.txBufs, tx)
+			rx, err := e.p.Brk(e.bufSize)
+			if err != nil {
+				return err
+			}
+			e.rxBufs = append(e.rxBufs, rx)
+		}
+	}
+	for i := 0; i < e.window; i++ {
+		var va vm.Addr
+		if !e.sem.SystemAllocated() {
+			va = e.rxBufs[i]
+		}
+		if err := e.post(va); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// post preposts one receive buffer on this endpoint's port.
+func (e *Endpoint) post(va vm.Addr) error {
+	in, err := e.p.Input(e.port, e.sem, va, e.bufSize)
+	if err != nil {
+		return err
+	}
+	in.OnComplete(func(in *InputOp) {
+		data := make([]byte, in.N)
+		if in.Err == nil {
+			if err := e.p.Read(in.Addr, data); err != nil {
+				in.Err = err
+			}
+		}
+		m := &Message{ep: e, in: in, data: data}
+		if e.onMessage != nil {
+			e.onMessage(m)
+			return
+		}
+		e.completed = append(e.completed, m)
+	})
+	return nil
+}
+
+// OnMessage installs a reactive handler invoked at message completion on
+// the simulated clock, instead of queueing for Recv. Servers use it to
+// respond within a single simulation run.
+func (e *Endpoint) OnMessage(fn func(*Message)) { e.onMessage = fn }
+
+// repost returns a consumed receive buffer to the window and a send
+// credit to the peer.
+func (e *Endpoint) repost(in *InputOp) error {
+	e.peer.credits++
+	if e.sem.SystemAllocated() {
+		// Recycle the system-allocated region through the region cache
+		// so the next input reuses it.
+		if in.Region != nil {
+			weak := e.sem.WeakIntegrity()
+			if err := e.p.RecycleIOBuffer(in.Region, weak); err != nil {
+				return err
+			}
+		}
+		return e.post(0)
+	}
+	return e.post(in.va)
+}
+
+// Send transmits data to the peer endpoint. The data is copied into one
+// of the channel's rotating send buffers first (the application-level
+// write the channel user would have done anyway); at most `window` sends
+// may be outstanding.
+func (e *Endpoint) Send(data []byte) (*OutputOp, error) {
+	if len(data) > e.bufSize {
+		return nil, fmt.Errorf("%w: %d > %d", ErrMessageTooBig, len(data), e.bufSize)
+	}
+	if e.credits <= 0 {
+		return nil, ErrChannelFull
+	}
+	var va vm.Addr
+	if e.sem.SystemAllocated() {
+		r, err := e.p.AllocIOBuffer(e.bufSize)
+		if err != nil {
+			return nil, err
+		}
+		va = r.Start()
+	} else {
+		va = e.txBufs[e.txNext]
+		e.txNext = (e.txNext + 1) % len(e.txBufs)
+	}
+	if err := e.p.Write(va, data); err != nil {
+		return nil, err
+	}
+	// Pad system-allocated sends to the full buffer so region caching
+	// sizes stay uniform; application-allocated sends use exact lengths.
+	length := len(data)
+	if e.sem.SystemAllocated() {
+		length = e.bufSize
+	}
+	out, err := e.p.Output(e.peer.port, e.sem, va, length)
+	if err != nil {
+		return nil, err
+	}
+	e.credits--
+	return out, nil
+}
+
+// Credits returns the endpoint's available send credits.
+func (e *Endpoint) Credits() int { return e.credits }
+
+// Recv pops the oldest completed message, if any.
+func (e *Endpoint) Recv() (*Message, bool) {
+	if len(e.completed) == 0 {
+		return nil, false
+	}
+	m := e.completed[0]
+	e.completed = e.completed[1:]
+	return m, true
+}
+
+// Pending reports completed-but-unconsumed messages.
+func (e *Endpoint) Pending() int { return len(e.completed) }
+
+// Port returns the endpoint's receive port.
+func (e *Endpoint) Port() int { return e.port }
+
+// Semantics returns the channel's buffering semantics.
+func (e *Endpoint) Semantics() Semantics { return e.sem }

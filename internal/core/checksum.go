@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/checksum"
+	"repro/internal/cost"
+	"repro/internal/netsim"
+)
+
+// ChecksumMode selects end-to-end checksumming of datagram payloads —
+// the Section 9 discussion made concrete. The checksum travels as a
+// 2-byte trailer after the payload.
+type ChecksumMode int
+
+// Checksum modes.
+const (
+	// ChecksumNone disables checksumming (the paper's measured setup;
+	// Credit Net AAL5 hardware CRC covered the wire).
+	ChecksumNone ChecksumMode = iota
+	// ChecksumSeparate verifies with a read-only pass distinct from data
+	// passing: with copy semantics, the system buffer is verified before
+	// the copyout; with emulated copy, the aligned system buffer is
+	// verified before pages are swapped. A failed checksum leaves the
+	// application buffer untouched — copy semantics is preserved.
+	ChecksumSeparate
+	// ChecksumIntegrated folds verification into the copy to the
+	// application buffer (integrated layer processing). Cheaper than
+	// copy-then-verify, but a failed checksum has already overwritten
+	// the application buffer: the semantics silently becomes weak.
+	// Emulated copy has no copy to integrate into and falls back to the
+	// separate pass.
+	ChecksumIntegrated
+)
+
+var checksumModeNames = [...]string{"none", "separate", "integrated"}
+
+func (m ChecksumMode) String() string {
+	if int(m) < len(checksumModeNames) {
+		return checksumModeNames[m]
+	}
+	return "ChecksumMode?"
+}
+
+// Checksum errors.
+var (
+	// ErrChecksum reports a failed payload verification. For
+	// ChecksumIntegrated with copy semantics the application buffer
+	// already holds the faulty data when this is returned.
+	ErrChecksum = errors.New("core: checksum verification failed")
+	// ErrChecksumUnsupported: checksum modes are implemented for copy
+	// and emulated copy semantics over early-demultiplexed devices —
+	// exactly the data paths the paper's integration discussion is
+	// about. In-place input is inherently weak under checksumming
+	// (the device writes application memory before verification can
+	// run), so the combination is refused rather than silently downgraded.
+	ErrChecksumUnsupported = errors.New("core: checksum mode unsupported for this semantics/device")
+)
+
+const checksumTrailerLen = 2
+
+// trailerLen returns the extra buffer bytes needed for the checksum
+// trailer under the active mode for this semantics (0 when off).
+func (g *Genie) trailerLen(sem Semantics) int {
+	if ok, err := g.checksumApplies(sem); ok && err == nil {
+		return checksumTrailerLen
+	}
+	return 0
+}
+
+// checksumApplies reports whether the configured mode covers the
+// semantics/device combination, erroring for unsupported ones.
+func (g *Genie) checksumApplies(sem Semantics) (bool, error) {
+	if g.cfg.Checksum == ChecksumNone {
+		return false, nil
+	}
+	if sem != Copy && sem != EmulatedCopy {
+		return false, ErrChecksumUnsupported
+	}
+	if g.nic.Buffering() != netsim.EarlyDemux {
+		return false, ErrChecksumUnsupported
+	}
+	return true, nil
+}
+
+// checksumVerify is a local alias so the dispose paths read cleanly.
+func checksumVerify(data []byte, sum uint16) bool { return checksum.Verify(data, sum) }
+
+// appendTrailer attaches the payload checksum as a big-endian trailer.
+func appendTrailer(payload []byte) []byte {
+	sum := checksum.Sum(payload)
+	return append(payload, byte(sum>>8), byte(sum))
+}
+
+// splitTrailer separates payload and checksum.
+func splitTrailer(data []byte) (payload []byte, sum uint16) {
+	n := len(data) - checksumTrailerLen
+	return data[:n], uint16(data[n])<<8 | uint16(data[n+1])
+}
+
+// verifyCopyInput implements checksummed dispose for copy semantics with
+// early demultiplexing. It returns the charges and whether the payload
+// was delivered to the application buffer.
+func (g *Genie) verifyCopyInput(in *InputOp, data []byte, sum uint16) (ch []charge, delivered bool, err error) {
+	n := len(data)
+	switch g.cfg.Checksum {
+	case ChecksumSeparate:
+		// Verify in the system buffer first; only good data reaches the
+		// application.
+		ch = append(ch, charge{cost.ChecksumRead, n})
+		if !checksum.Verify(data, sum) {
+			return ch, false, ErrChecksum
+		}
+		if err := in.proc.as.Poke(in.va, data); err != nil {
+			return ch, false, err
+		}
+		ch = append(ch, charge{cost.Copyout, n})
+		return ch, true, nil
+
+	case ChecksumIntegrated:
+		// One pass: the copy happens regardless of the outcome. On
+		// failure the application buffer holds the faulty data — the
+		// semantic weakening the paper warns about, observable here.
+		if err := in.proc.as.Poke(in.va, data); err != nil {
+			return ch, false, err
+		}
+		ch = append(ch, charge{cost.ChecksumCopy, n})
+		if !checksum.Verify(data, sum) {
+			return ch, true, ErrChecksum
+		}
+		return ch, true, nil
+	}
+	return nil, false, ErrChecksumUnsupported
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func checksumTestbed(t *testing.T, mode ChecksumMode) (*Testbed, *Process, *Process) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Checksum = mode
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux, Genie: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, tb.A.Genie.NewProcess(), tb.B.Genie.NewProcess()
+}
+
+func TestChecksumGoodPath(t *testing.T) {
+	for _, mode := range []ChecksumMode{ChecksumSeparate, ChecksumIntegrated} {
+		for _, sem := range []Semantics{Copy, EmulatedCopy} {
+			t.Run(mode.String()+"/"+sem.String(), func(t *testing.T) {
+				tb, tx, rx := checksumTestbed(t, mode)
+				const n = 2 * 4096
+				src, _ := tx.Brk(n)
+				dst, _ := rx.Brk(n)
+				payload := bytes.Repeat([]byte{0xA7}, n)
+				if err := tx.Write(src, payload); err != nil {
+					t.Fatal(err)
+				}
+				_, in, err := tb.Transfer(tx, rx, 1, sem, src, dst, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := make([]byte, n)
+				if err := rx.Read(in.Addr, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Fatal("verified payload corrupted")
+				}
+			})
+		}
+	}
+}
+
+// TestChecksumSeparatePreservesCopySemantics: with a separate
+// verification pass, a corrupted frame is detected before the
+// application buffer is touched.
+func TestChecksumSeparatePreservesCopySemantics(t *testing.T) {
+	for _, sem := range []Semantics{Copy, EmulatedCopy} {
+		t.Run(sem.String(), func(t *testing.T) {
+			tb, tx, rx := checksumTestbed(t, ChecksumSeparate)
+			const n = 2 * 4096
+			src, _ := tx.Brk(n)
+			dst, _ := rx.Brk(n)
+			if err := tx.Write(src, bytes.Repeat([]byte{0xA7}, n)); err != nil {
+				t.Fatal(err)
+			}
+			sentinel := bytes.Repeat([]byte{0xEE}, n)
+			if err := rx.Write(dst, sentinel); err != nil {
+				t.Fatal(err)
+			}
+
+			in, err := rx.Input(1, sem, dst, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb.A.NIC.CorruptNextTx(100)
+			if _, err := tx.Output(1, sem, src, n); err != nil {
+				t.Fatal(err)
+			}
+			tb.Run()
+			if !errors.Is(in.Err, ErrChecksum) {
+				t.Fatalf("input error = %v, want ErrChecksum", in.Err)
+			}
+			got := make([]byte, n)
+			if err := rx.Read(dst, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, sentinel) {
+				t.Error("separate verification let faulty data into the application buffer")
+			}
+		})
+	}
+}
+
+// TestChecksumIntegratedIsActuallyWeak demonstrates the paper's warning:
+// integrating verification with the copy means a failed checksum has
+// already overwritten the application buffer.
+func TestChecksumIntegratedIsActuallyWeak(t *testing.T) {
+	tb, tx, rx := checksumTestbed(t, ChecksumIntegrated)
+	const n = 4096
+	src, _ := tx.Brk(n)
+	dst, _ := rx.Brk(n)
+	if err := tx.Write(src, bytes.Repeat([]byte{0xA7}, n)); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := bytes.Repeat([]byte{0xEE}, n)
+	if err := rx.Write(dst, sentinel); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := rx.Input(1, Copy, dst, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.A.NIC.CorruptNextTx(50)
+	if _, err := tx.Output(1, Copy, src, n); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run()
+	if !errors.Is(in.Err, ErrChecksum) {
+		t.Fatalf("input error = %v, want ErrChecksum", in.Err)
+	}
+	got := make([]byte, n)
+	if err := rx.Read(dst, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, sentinel) {
+		t.Error("integrated checksum claimed copy semantics: buffer untouched on failure")
+	}
+	if got[50] == 0xA7 {
+		t.Error("buffer neither original nor corrupted?")
+	}
+}
+
+// TestChecksumUnsupportedCombinations: in-place and system-allocated
+// semantics refuse checksum modes instead of silently weakening.
+func TestChecksumUnsupportedCombinations(t *testing.T) {
+	_, tx, rx := checksumTestbed(t, ChecksumSeparate)
+	src, _ := tx.Brk(4096)
+	if _, err := tx.Output(1, EmulatedShare, src, 4096); !errors.Is(err, ErrChecksumUnsupported) {
+		t.Errorf("share output: err = %v", err)
+	}
+	if _, err := rx.Input(1, WeakMove, 0, 4096); !errors.Is(err, ErrChecksumUnsupported) {
+		t.Errorf("weak move input: err = %v", err)
+	}
+	// Checksum over pooled buffering is refused too.
+	cfg := DefaultConfig()
+	cfg.Checksum = ChecksumSeparate
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.Pooled, Genie: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tb.A.Genie.NewProcess()
+	va, _ := p.Brk(4096)
+	if _, err := p.Output(1, Copy, va, 4096); !errors.Is(err, ErrChecksumUnsupported) {
+		t.Errorf("pooled checksummed output: err = %v", err)
+	}
+}
+
+// TestChecksumShortConversionStillChecksummed: an emulated-copy output
+// below the conversion threshold converts to copy semantics and must
+// still carry a valid checksum.
+func TestChecksumShortConversion(t *testing.T) {
+	tb, tx, rx := checksumTestbed(t, ChecksumSeparate)
+	src, _ := tx.Brk(4096)
+	dst, _ := rx.Brk(4096)
+	if err := tx.Write(src, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	out, in, err := tb.Transfer(tx, rx, 1, EmulatedCopy, src, dst, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converted() {
+		t.Fatal("short output not converted")
+	}
+	got := make([]byte, 4)
+	if err := rx.Read(in.Addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "tiny" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestChecksumCostOrdering verifies the paper's cost argument on the
+// wire: emulated copy plus a separate verification pass beats copy with
+// the checksum integrated into its copies.
+func TestChecksumCostOrdering(t *testing.T) {
+	latency := func(mode ChecksumMode, sem Semantics) float64 {
+		tb, tx, rx := checksumTestbed(t, mode)
+		const n = 15 * 4096
+		src, _ := tx.Brk(n)
+		dst, _ := rx.Brk(n)
+		if err := tx.Write(src, make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+		out, in, err := tb.Transfer(tx, rx, 1, sem, src, dst, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in.CompletedAt.Sub(out.StartedAt).Micros()
+	}
+	emCopySeparate := latency(ChecksumSeparate, EmulatedCopy)
+	copyIntegrated := latency(ChecksumIntegrated, Copy)
+	copySeparate := latency(ChecksumSeparate, Copy)
+	if emCopySeparate >= copyIntegrated {
+		t.Errorf("VM passing + read pass (%.0f us) not below integrated copy+checksum (%.0f us)",
+			emCopySeparate, copyIntegrated)
+	}
+	if copyIntegrated >= copySeparate {
+		t.Errorf("integrated (%.0f us) not below copy + separate pass (%.0f us)",
+			copyIntegrated, copySeparate)
+	}
+}

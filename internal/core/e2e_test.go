@@ -1,0 +1,393 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/netsim"
+	"repro/internal/vm"
+)
+
+// testTransfer runs one measured datagram transfer on a fresh testbed
+// and verifies payload integrity, returning the operations and testbed.
+func testTransfer(t *testing.T, cfg TestbedConfig, sem Semantics, length int) (*Testbed, *OutputOp, *InputOp) {
+	t.Helper()
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := tb.A.Genie.NewProcess()
+	receiver := tb.B.Genie.NewProcess()
+
+	payload := make([]byte, length)
+	for i := range payload {
+		payload[i] = byte(i*13 + 7)
+	}
+
+	var srcVA, dstVA vm.Addr
+	if sem.SystemAllocated() {
+		r, err := sender.AllocIOBuffer(length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcVA = r.Start()
+	} else {
+		va, err := sender.Brk(length + 2*tb.Model.Platform.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcVA = va
+		dva, err := receiver.Brk(length + 2*tb.Model.Platform.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dstVA = dva
+	}
+	if err := sender.Write(srcVA, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	out, in, err := tb.Transfer(sender, receiver, 1, sem, srcVA, dstVA, length)
+	if err != nil {
+		t.Fatalf("%v transfer: %v", sem, err)
+	}
+	if in.N != length {
+		t.Fatalf("%v: received %d bytes, want %d", sem, in.N, length)
+	}
+	got := make([]byte, length)
+	if err := receiver.Read(in.Addr, got); err != nil {
+		t.Fatalf("%v: reading received data: %v", sem, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("%v: payload corrupted in transit", sem)
+	}
+	return tb, out, in
+}
+
+// expectedLatency composes the end-to-end latency the paper's breakdown
+// model predicts (Section 8 / Table 7): base + sender prepare + the
+// receiver operations that contribute under the given buffering scheme.
+func expectedLatency(m *cost.Model, sem Semantics, scheme netsim.InputBuffering, aligned bool, b int) float64 {
+	return expectedLatencyOff(m, sem, scheme, aligned, b, 0)
+}
+
+// expectedLatencyOff is expectedLatency with a device payload placement
+// offset, which changes how many bytes move-semantics input must
+// zero-complete under pooled buffering.
+func expectedLatencyOff(m *cost.Model, sem Semantics, scheme netsim.InputBuffering, aligned bool, b, devOff int) float64 {
+	c := func(op cost.Op, n int) float64 { return m.Cost(op, n).Micros() }
+	ps := m.Platform.PageSize
+	zeroed := func() int {
+		z := devOff
+		if end := (devOff + b) % ps; end != 0 {
+			z += ps - end
+		}
+		return z
+	}()
+	lat := m.BaseLatency(b).Micros()
+
+	// Sender prepare (Table 2).
+	switch sem {
+	case Copy:
+		lat += c(cost.BufAllocate, b) + c(cost.Copyin, b)
+	case EmulatedCopy:
+		lat += c(cost.Reference, b) + c(cost.ReadOnly, b)
+	case Share:
+		lat += c(cost.Reference, b) + c(cost.Wire, b)
+	case EmulatedShare:
+		lat += c(cost.Reference, b)
+	case Move:
+		lat += c(cost.Reference, b) + c(cost.Wire, b) + c(cost.RegionMarkOut, 0) + c(cost.Invalidate, b)
+	case EmulatedMove:
+		lat += c(cost.Reference, b) + c(cost.RegionMarkOut, 0) + c(cost.Invalidate, b)
+	case WeakMove:
+		lat += c(cost.Reference, b) + c(cost.Wire, b) + c(cost.RegionMarkOut, 0)
+	case EmulatedWeakMove:
+		lat += c(cost.Reference, b) + c(cost.RegionMarkOut, 0)
+	}
+
+	// Receiver ready (pooled only contributes; Tables 3 and 4).
+	if scheme == netsim.Pooled {
+		lat += c(cost.OverlayAllocate, b) + c(cost.Overlay, b)
+	}
+
+	// Receiver dispose.
+	switch scheme {
+	case netsim.EarlyDemux:
+		switch sem {
+		case Copy:
+			lat += c(cost.Copyout, b)
+		case EmulatedCopy:
+			lat += c(cost.Swap, b) // page-multiple aligned sweep: all pages swapped
+		case Share:
+			lat += c(cost.Unwire, b) + c(cost.Unreference, b)
+		case EmulatedShare:
+			lat += c(cost.Unreference, b)
+		case Move:
+			lat += c(cost.RegionCreate, 0) + c(cost.ZeroComplete, 0) + c(cost.RegionFill, b) +
+				c(cost.RegionMap, b) + c(cost.RegionMarkIn, 0)
+		case EmulatedMove:
+			lat += c(cost.RegionCheckUnrefReinstateMarkIn, b)
+		case WeakMove:
+			lat += c(cost.RegionCheck, 0) + c(cost.Unwire, b) + c(cost.Unreference, b) + c(cost.RegionMarkIn, 0)
+		case EmulatedWeakMove:
+			lat += c(cost.RegionCheckUnrefMarkIn, b)
+		}
+	case netsim.Pooled:
+		passData := func() float64 {
+			if aligned {
+				return c(cost.Swap, b)
+			}
+			return c(cost.Copyout, b)
+		}
+		switch sem {
+		case Copy:
+			lat += c(cost.Copyout, b) + c(cost.OverlayDeallocate, b)
+		case EmulatedCopy:
+			lat += passData() + c(cost.OverlayDeallocate, b)
+		case Share:
+			lat += c(cost.Unwire, b) + c(cost.Unreference, b) + passData() + c(cost.OverlayDeallocate, b)
+		case EmulatedShare:
+			lat += c(cost.Unreference, b) + passData() + c(cost.OverlayDeallocate, b)
+		case Move:
+			lat += c(cost.RegionCreate, 0) + c(cost.ZeroComplete, zeroed) + c(cost.RegionFillOverlayRefill, b) +
+				c(cost.RegionMap, b) + c(cost.RegionMarkIn, 0) + c(cost.OverlayDeallocate, b)
+		case EmulatedMove, EmulatedWeakMove:
+			lat += c(cost.RegionCheck, 0) + c(cost.Unreference, b) + c(cost.Swap, b) +
+				c(cost.RegionMarkIn, 0) + c(cost.OverlayDeallocate, b)
+		case WeakMove:
+			lat += c(cost.RegionCheck, 0) + c(cost.Unwire, b) + c(cost.Unreference, b) + c(cost.Swap, b) +
+				c(cost.RegionMarkIn, 0) + c(cost.OverlayDeallocate, b)
+		}
+	case netsim.OutboardBuffering:
+		lat += c(cost.OutboardDMA, b)
+		switch sem {
+		case Copy:
+			lat += c(cost.BufAllocate, b) + c(cost.Copyout, b)
+		case EmulatedCopy:
+			lat += c(cost.Reference, b) + c(cost.Unreference, b)
+		case Share:
+			lat += c(cost.Unwire, b) + c(cost.Unreference, b)
+		case EmulatedShare:
+			lat += c(cost.Unreference, b)
+		case Move:
+			lat += c(cost.BufAllocate, b) + c(cost.RegionCreate, 0) + c(cost.ZeroComplete, 0) +
+				c(cost.RegionFill, b) + c(cost.RegionMap, b) + c(cost.RegionMarkIn, 0)
+		case EmulatedMove:
+			lat += c(cost.RegionCheckUnrefReinstateMarkIn, b)
+		case WeakMove:
+			lat += c(cost.RegionCheck, 0) + c(cost.Unwire, b) + c(cost.Unreference, b) + c(cost.RegionMarkIn, 0)
+		case EmulatedWeakMove:
+			lat += c(cost.RegionCheckUnrefMarkIn, b)
+		}
+	}
+	return lat
+}
+
+// TestEarlyDemuxAllSemantics transfers a 60 KB page-multiple datagram
+// under every semantics and checks both integrity and that the measured
+// end-to-end latency equals the breakdown model's composition exactly.
+func TestEarlyDemuxAllSemantics(t *testing.T) {
+	const length = 15 * 4096 // 60 KB
+	for _, sem := range AllSemantics() {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			tb, out, in := testTransfer(t, TestbedConfig{Buffering: netsim.EarlyDemux}, sem, length)
+			got := in.CompletedAt.Sub(out.StartedAt).Micros()
+			want := expectedLatency(tb.Model, sem, netsim.EarlyDemux, true, length)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("e2e latency = %.2f us, breakdown model says %.2f us", got, want)
+			}
+		})
+	}
+}
+
+// TestFigure3Ordering checks the headline result: at 60 KB with early
+// demultiplexing, copy semantics is distinctly inferior and all other
+// semantics cluster, in the paper's exact order.
+func TestFigure3Ordering(t *testing.T) {
+	const length = 15 * 4096
+	lat := make(map[Semantics]float64)
+	for _, sem := range AllSemantics() {
+		_, out, in := testTransfer(t, TestbedConfig{Buffering: netsim.EarlyDemux}, sem, length)
+		lat[sem] = in.CompletedAt.Sub(out.StartedAt).Micros()
+	}
+	// Copy reduced by emulated copy by ~37% (paper: 37% for 60 KB).
+	reduction := (lat[Copy] - lat[EmulatedCopy]) / lat[Copy]
+	if reduction < 0.33 || reduction > 0.41 {
+		t.Errorf("emulated copy reduces copy latency by %.0f%%, paper says 37%%", reduction*100)
+	}
+	// All non-copy semantics within 6% of each other.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for sem, l := range lat {
+		if sem == Copy {
+			continue
+		}
+		lo = math.Min(lo, l)
+		hi = math.Max(hi, l)
+	}
+	if (hi-lo)/lo > 0.06 {
+		t.Errorf("non-copy semantics spread %.1f%%, expected clustering", (hi-lo)/lo*100)
+	}
+	// Paper's order: emulated share < emulated weak move < emulated move
+	// < {share, emulated copy, weak move} < move << copy.
+	if !(lat[EmulatedShare] < lat[EmulatedWeakMove] &&
+		lat[EmulatedWeakMove] < lat[EmulatedMove] &&
+		lat[EmulatedMove] < lat[EmulatedCopy] &&
+		lat[EmulatedCopy] < lat[Move] &&
+		lat[Move] < lat[Copy]) {
+		t.Errorf("latency ordering differs from Figure 3: %v", lat)
+	}
+	// Emulated copy beats move and is statistically indistinguishable
+	// from share at 60 KB (the paper's measured fits put it just below;
+	// Table 6's published constants put it within a couple of
+	// microseconds — measurement noise on a ~4 ms latency).
+	if lat[EmulatedCopy] >= lat[Move] {
+		t.Errorf("emulated copy (%.0f) not below move (%.0f)", lat[EmulatedCopy], lat[Move])
+	}
+	if gap := math.Abs(lat[EmulatedCopy]-lat[Share]) / lat[Share]; gap > 0.005 {
+		t.Errorf("emulated copy (%.0f) vs share (%.0f): gap %.2f%%, expected <0.5%%",
+			lat[EmulatedCopy], lat[Share], gap*100)
+	}
+}
+
+func TestPooledAlignedAllSemantics(t *testing.T) {
+	const length = 15 * 4096
+	for _, sem := range AllSemantics() {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			tb, out, in := testTransfer(t, TestbedConfig{Buffering: netsim.Pooled}, sem, length)
+			got := in.CompletedAt.Sub(out.StartedAt).Micros()
+			want := expectedLatency(tb.Model, sem, netsim.Pooled, true, length)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("e2e latency = %.2f us, breakdown model says %.2f us", got, want)
+			}
+		})
+	}
+}
+
+// TestPooledUnaligned checks Figure 7's split: with unaligned buffers
+// the application-allocated non-copy semantics must copy at the
+// receiver, while system-allocated semantics are unaffected.
+func TestPooledUnaligned(t *testing.T) {
+	const length = 15 * 4096
+	const off = 40 // device places payload 40 bytes into the first page
+	for _, sem := range AllSemantics() {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			tb, out, in := testTransfer(t, TestbedConfig{Buffering: netsim.Pooled, OverlayOff: off}, sem, length)
+			got := in.CompletedAt.Sub(out.StartedAt).Micros()
+			// Application buffers are page aligned (Brk) while the device
+			// offset is 40: app-allocated semantics lose alignment.
+			aligned := sem.SystemAllocated()
+			want := expectedLatencyOff(tb.Model, sem, netsim.Pooled, aligned, length, off)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("e2e latency = %.2f us, breakdown model says %.2f us", got, want)
+			}
+			if !sem.SystemAllocated() && sem != Copy {
+				if tb.B.Genie.Stats().UnalignedInputs == 0 && sem == EmulatedCopy {
+					t.Error("unaligned input not detected")
+				}
+			}
+		})
+	}
+}
+
+func TestOutboardAllSemantics(t *testing.T) {
+	const length = 15 * 4096
+	for _, sem := range AllSemantics() {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			tb, out, in := testTransfer(t, TestbedConfig{Buffering: netsim.OutboardBuffering}, sem, length)
+			got := in.CompletedAt.Sub(out.StartedAt).Micros()
+			want := expectedLatency(tb.Model, sem, netsim.OutboardBuffering, true, length)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("e2e latency = %.2f us, breakdown model says %.2f us", got, want)
+			}
+		})
+	}
+}
+
+// TestOutboardEmulatedCopyNearEmulatedShare checks the paper's Section 7
+// prediction: with outboard buffering, emulated copy performs even
+// closer to emulated share because it is implemented much like it.
+func TestOutboardEmulatedCopyNearEmulatedShare(t *testing.T) {
+	const length = 15 * 4096
+	_, outC, inC := testTransfer(t, TestbedConfig{Buffering: netsim.OutboardBuffering}, EmulatedCopy, length)
+	_, outS, inS := testTransfer(t, TestbedConfig{Buffering: netsim.OutboardBuffering}, EmulatedShare, length)
+	lc := inC.CompletedAt.Sub(outC.StartedAt).Micros()
+	ls := inS.CompletedAt.Sub(outS.StartedAt).Micros()
+	if (lc-ls)/ls > 0.02 {
+		t.Errorf("outboard emulated copy %.1f vs emulated share %.1f: gap %.1f%%, expected <2%%",
+			lc, ls, (lc-ls)/ls*100)
+	}
+}
+
+// TestUnalignedBufferEarlyDemux exercises system input alignment with an
+// application buffer that is NOT page aligned: emulated copy must still
+// avoid copying full pages.
+func TestUnalignedAppBufferEarlyDemux(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := tb.A.Genie.NewProcess()
+	receiver := tb.B.Genie.NewProcess()
+	const length = 4 * 4096
+	srcVA, _ := sender.Brk(length + 4096)
+	base, _ := receiver.Brk(length + 2*4096)
+	dstVA := base + 1000 // decidedly unaligned
+
+	payload := bytes.Repeat([]byte{0xD7}, length)
+	if err := sender.Write(srcVA, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Surround the buffer with sentinel data that must survive.
+	if err := receiver.Write(base, bytes.Repeat([]byte{0xEE}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	tail := dstVA + vm.Addr(length)
+	if err := receiver.Write(tail, bytes.Repeat([]byte{0xBB}, 500)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, in, err := tb.Transfer(sender, receiver, 1, EmulatedCopy, srcVA, dstVA, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, length)
+	if err := receiver.Read(in.Addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted for unaligned app buffer")
+	}
+	// Sentinels intact (reverse copyout completed pages correctly).
+	head := make([]byte, 1000)
+	if err := receiver.Read(base, head); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range head {
+		if b != 0xEE {
+			t.Fatalf("head sentinel byte %d = %#x", i, b)
+		}
+	}
+	tailBuf := make([]byte, 500)
+	if err := receiver.Read(tail, tailBuf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range tailBuf {
+		if b != 0xBB {
+			t.Fatalf("tail sentinel byte %d = %#x", i, b)
+		}
+	}
+	st := tb.B.Genie.Stats()
+	if st.SwappedPages == 0 {
+		t.Error("no pages swapped despite system input alignment")
+	}
+	if st.ReverseCopyouts == 0 {
+		t.Error("no reverse copyout on partial boundary pages")
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Errors reported by the Genie data path.
+var (
+	ErrBadSemantics    = errors.New("core: invalid semantics")
+	ErrNotMovedIn      = errors.New("core: system-allocated output requires a moved-in region")
+	ErrBadBuffer       = errors.New("core: bad buffer range")
+	ErrUnmovableOutput = errors.New("core: system-allocated output on unmovable region")
+)
+
+// Config holds Genie's tunables. The defaults are the empirically
+// determined settings from Section 7 of the paper.
+type Config struct {
+	// EmCopyOutputThreshold: output with emulated copy semantics shorter
+	// than this converts to copy semantics automatically.
+	EmCopyOutputThreshold int
+	// EmShareOutputThreshold: likewise for emulated share semantics.
+	EmShareOutputThreshold int
+	// ReverseCopyoutThreshold: on input with emulated copy semantics,
+	// partially filled pages holding at least this much data are
+	// completed from the application page and swapped (reverse copyout);
+	// shorter fills are simply copied out. Set just above half a page to
+	// minimize copying.
+	ReverseCopyoutThreshold int
+	// SystemAlignment enables system input alignment: aligned-buffer
+	// allocation honoring the application buffer's page offset
+	// (Section 5.2). Disabling it is the paper's traditional practice
+	// and forces copyout on unaligned emulated-copy input.
+	SystemAlignment bool
+	// KernelPoolPages sizes the kernel's buffer pool for system and
+	// aligned input buffers.
+	KernelPoolPages int
+	// Checksum selects end-to-end payload checksumming (Section 9's
+	// integration discussion); see ChecksumMode.
+	Checksum ChecksumMode
+}
+
+// DefaultConfig returns the paper's settings for a given page size.
+func DefaultConfig() Config {
+	return Config{
+		EmCopyOutputThreshold:   1666,
+		EmShareOutputThreshold:  280,
+		ReverseCopyoutThreshold: 2178,
+		SystemAlignment:         true,
+		KernelPoolPages:         64,
+	}
+}
+
+// Stats counts Genie data path events.
+type Stats struct {
+	Outputs          uint64
+	Inputs           uint64
+	ConvertedToCopy  uint64 // outputs auto-converted to copy semantics
+	SwappedPages     uint64
+	ReverseCopyouts  uint64
+	PartialCopyouts  uint64
+	FullCopyouts     uint64 // inputs that fell back to copying everything
+	AlignedInputs    uint64
+	UnalignedInputs  uint64
+	RegionsReused    uint64 // region cache hits
+	RegionsAllocated uint64 // region cache misses
+	RegionsRemapped  uint64 // cached regions found removed at dispose
+	Dropped          uint64 // packets with no matching input operation
+}
+
+// Genie is the I/O framework instance of one host.
+type Genie struct {
+	name  string
+	eng   *sim.Engine
+	model *cost.Model
+	sys   *vm.System
+	nic   *netsim.NIC
+	cfg   Config
+
+	kpool *netsim.OverlayPool // kernel pool for system/aligned buffers
+	recvQ map[int][]*InputOp
+
+	// cpuFreeAt serializes receiver-side per-datagram CPU work: under
+	// back-to-back traffic, the protocol and data passing work of one
+	// datagram delays the next (the resource Figure 4 measures). A
+	// single in-flight datagram is never delayed.
+	cpuFreeAt sim.Time
+
+	instr Instrumentation
+	stats Stats
+}
+
+// NewGenie creates a Genie instance and installs it as the NIC's
+// protocol stack.
+func NewGenie(name string, eng *sim.Engine, model *cost.Model, sys *vm.System, nic *netsim.NIC, cfg Config) (*Genie, error) {
+	if cfg.KernelPoolPages <= 0 {
+		cfg.KernelPoolPages = 64
+	}
+	kpool, err := netsim.NewOverlayPool(sys.Phys(), cfg.KernelPoolPages)
+	if err != nil {
+		return nil, fmt.Errorf("core: kernel pool: %w", err)
+	}
+	g := &Genie{
+		name:  name,
+		eng:   eng,
+		model: model,
+		sys:   sys,
+		nic:   nic,
+		cfg:   cfg,
+		kpool: kpool,
+		recvQ: make(map[int][]*InputOp),
+	}
+	nic.SetRxHandler(g.onReceive)
+	return g, nil
+}
+
+// Name returns the host name.
+func (g *Genie) Name() string { return g.name }
+
+// Engine returns the simulation engine.
+func (g *Genie) Engine() *sim.Engine { return g.eng }
+
+// Model returns the cost model in use.
+func (g *Genie) Model() *cost.Model { return g.model }
+
+// VM returns the host's VM system.
+func (g *Genie) VM() *vm.System { return g.sys }
+
+// NIC returns the host's network adapter.
+func (g *Genie) NIC() *netsim.NIC { return g.nic }
+
+// Config returns the active configuration.
+func (g *Genie) Config() Config { return g.cfg }
+
+// Stats returns a snapshot of data path counters.
+func (g *Genie) Stats() Stats { return g.stats }
+
+// Instr exposes the per-operation instrumentation.
+func (g *Genie) Instr() *Instrumentation { return &g.instr }
+
+// PreferredAlignment reports the input alignment the device prefers —
+// the query interface applications use for application input alignment
+// (Section 5.2): the byte offset within the first input page where
+// payload will land, due for example to unstripped packet headers.
+func (g *Genie) PreferredAlignment() int { return g.nic.PreferredOffset() }
+
+// pageSize returns the host page size.
+func (g *Genie) pageSize() int { return g.sys.PageSize() }
+
+// Process is an application running on a Genie host.
+type Process struct {
+	g  *Genie
+	as *vm.AddressSpace
+}
+
+// NewProcess creates an application address space on the host.
+func (g *Genie) NewProcess() *Process {
+	return &Process{g: g, as: g.sys.NewAddressSpace()}
+}
+
+// Genie returns the owning framework instance.
+func (p *Process) Genie() *Genie { return p.g }
+
+// Space returns the process address space.
+func (p *Process) Space() *vm.AddressSpace { return p.as }
+
+// Brk allocates an unmovable (heap-like) region of at least length bytes
+// and returns its base address. Application-allocated I/O buffers live
+// in such regions.
+func (p *Process) Brk(length int) (vm.Addr, error) {
+	r, err := p.as.AllocRegion(length, vm.Unmovable)
+	if err != nil {
+		return 0, err
+	}
+	return r.Start(), nil
+}
+
+// AllocIOBuffer explicitly allocates a system-allocated I/O buffer (a
+// movable, moved-in region) — the allocation call of the
+// system-allocated API (Section 2.1). Regions cached by earlier outputs
+// are reused before fresh address space is consumed, the same buffer
+// recycling that lets applications with balanced input and output avoid
+// allocation entirely.
+func (p *Process) AllocIOBuffer(length int) (*vm.Region, error) {
+	size := p.as.System().PageSize()
+	size = (length + size - 1) / size * size
+	for _, weak := range []bool{false, true} {
+		if r := p.as.DequeueCached(size, weak); r != nil {
+			if err := r.MarkMovingIn(); err != nil {
+				return nil, err
+			}
+			p.as.Reinstate(r)
+			if err := r.MarkMovedIn(); err != nil {
+				return nil, err
+			}
+			p.g.stats.RegionsReused++
+			return r, nil
+		}
+	}
+	return p.as.AllocRegion(length, vm.MovedIn)
+}
+
+// FreeIOBuffer deallocates a system-allocated I/O buffer.
+func (p *Process) FreeIOBuffer(r *vm.Region) error {
+	return p.as.RemoveRegion(r)
+}
+
+// Fork clones the process with copy semantics: shadow-chain COW for
+// ordinary regions, physical copies where pending in-place input makes
+// COW unsafe (input-disabled COW, Section 3.3).
+func (p *Process) Fork() (*Process, error) {
+	child, err := p.as.Fork()
+	if err != nil {
+		return nil, err
+	}
+	return &Process{g: p.g, as: child}, nil
+}
+
+// Exit terminates the process, tearing down its whole address space.
+// Termination during pending I/O is safe: I/O-deferred page deallocation
+// keeps in-flight pages out of the free list until the device is done
+// (Section 3.1).
+func (p *Process) Exit() { p.g.sys.DestroySpace(p.as) }
+
+// Write stores data at va with full application-level fault handling.
+func (p *Process) Write(va vm.Addr, data []byte) error { return p.as.Poke(va, data) }
+
+// Read loads len(buf) bytes from va.
+func (p *Process) Read(va vm.Addr, buf []byte) error { return p.as.Peek(va, buf) }
+
+// kernelBuffer is a system or aligned input buffer built from kernel
+// pool pages: payload occupies [off, off+length) across the frames.
+type kernelBuffer struct {
+	frames []*mem.Frame
+	off    int
+	length int
+	pool   *netsim.OverlayPool
+}
+
+// allocKernelBuffer builds a buffer whose payload starts at byte offset
+// off within the first page — offset 0 for plain system buffers, the
+// application buffer's page offset for aligned buffers (system input
+// alignment, Section 5.2).
+func (g *Genie) allocKernelBuffer(off, length int) (*kernelBuffer, error) {
+	n := g.kpool.PagesFor(off + length)
+	frames, err := g.kpool.Get(n)
+	if err != nil {
+		return nil, err
+	}
+	return &kernelBuffer{frames: frames, off: off, length: length, pool: g.kpool}, nil
+}
+
+// Len returns the payload capacity.
+func (b *kernelBuffer) Len() int { return b.length }
+
+// DMAWrite scatters data into the buffer at payload offset off.
+func (b *kernelBuffer) DMAWrite(off int, data []byte) {
+	pos := b.off + off
+	ps := len(b.frames[0].Data())
+	for len(data) > 0 {
+		fi := pos / ps
+		fo := pos % ps
+		n := copy(b.frames[fi].Data()[fo:], data)
+		data = data[n:]
+		pos += n
+	}
+}
+
+// readAll copies the first n payload bytes into buf.
+func (b *kernelBuffer) readAll(buf []byte) {
+	pos := b.off
+	ps := len(b.frames[0].Data())
+	off := 0
+	for off < len(buf) {
+		fi := pos / ps
+		fo := pos % ps
+		n := copy(buf[off:], b.frames[fi].Data()[fo:])
+		off += n
+		pos += n
+	}
+}
+
+// free returns all remaining frames to the pool.
+func (b *kernelBuffer) free() {
+	if b.frames != nil {
+		b.pool.Put(b.frames...)
+		b.frames = nil
+	}
+}
+
+// wireFrames wires every frame of an I/O reference — how the
+// non-emulated semantics protect buffers from pageout.
+func (g *Genie) wireFrames(ref *vm.IORef) {
+	for _, f := range ref.Frames() {
+		g.sys.Phys().Wire(f)
+	}
+}
+
+// unwireFrames undoes wireFrames.
+func (g *Genie) unwireFrames(ref *vm.IORef) {
+	for _, f := range ref.Frames() {
+		g.sys.Phys().Unwire(f)
+	}
+}
+
+// recycleFrame returns a frame displaced by input page swapping to the
+// given pool — unless I/O references are still draining on it, in which
+// case its deallocation is deferred and the pool is refilled with a
+// fresh frame instead.
+func (g *Genie) recycleFrame(pool *netsim.OverlayPool, f *mem.Frame) error {
+	if f == nil {
+		return pool.Refill(1)
+	}
+	if f.Referenced() {
+		g.sys.Phys().Release(f)
+		return pool.Refill(1)
+	}
+	pool.Put(f)
+	return nil
+}

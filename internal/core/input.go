@@ -1,0 +1,297 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// InputOp tracks one (preposted) input operation through its prepare,
+// ready, and dispose stages.
+type InputOp struct {
+	Sem  Semantics
+	Port int
+	Want int // posted buffer length
+
+	// Results, valid once Done.
+	N           int        // payload bytes received
+	Addr        vm.Addr    // where the data landed
+	Region      *vm.Region // the input region, for system-allocated semantics
+	Aligned     bool       // whether page swapping was possible
+	PostedAt    sim.Time
+	ArrivedAt   sim.Time
+	CompletedAt sim.Time
+	ReceiverCPU float64 // microseconds of CPU consumed at the receiver
+
+	Done bool
+	Err  error
+
+	onComplete func(*InputOp)
+
+	// Internal plumbing.
+	proc   *Process
+	va     vm.Addr       // application buffer (application-allocated)
+	ref    *vm.IORef     // in-place page references, if any
+	wired  bool          // ref frames wired (non-emulated semantics)
+	kbuf   *kernelBuffer // system or aligned buffer, if any
+	region *vm.Region    // system-allocated input region
+}
+
+// OnComplete registers a callback invoked at dispose completion.
+func (in *InputOp) OnComplete(fn func(*InputOp)) { in.onComplete = fn }
+
+// ErrCancelled reports an input withdrawn by the application.
+var ErrCancelled = errors.New("core: input cancelled")
+
+// Cancel withdraws a pending input operation: the posted buffer leaves
+// the device's list, page references (and wiring) are dropped, cached
+// regions return to their queues, and kernel buffers go back to the
+// pool. Cancelling a completed or already-cancelled input reports false.
+// A datagram that was already in flight when the matching posting
+// disappeared is simply dropped by the adapter, as on real hardware.
+func (in *InputOp) Cancel() bool {
+	if in.Done {
+		return false
+	}
+	g := in.proc.g
+	q := g.recvQ[in.Port]
+	idx := -1
+	for i, cand := range q {
+		if cand == in {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false // arrival processing already claimed it
+	}
+	// The early-demultiplexing buffer list and the Genie queue stay in
+	// lockstep; rebuild the device list from the surviving queue so
+	// mid-queue cancellation cannot skew the FIFO pairing.
+	g.recvQ[in.Port] = append(q[:idx:idx], q[idx+1:]...)
+	g.rebuildPostings(in.Port)
+
+	if in.ref != nil {
+		if in.wired {
+			g.unwireFrames(in.ref)
+		}
+		in.ref.Unreference()
+	}
+	if in.kbuf != nil {
+		in.kbuf.free()
+	}
+	if in.region != nil && !in.region.Removed() {
+		// Return the cached region to its queue.
+		weak := in.Sem == WeakMove || in.Sem == EmulatedWeakMove
+		if weak {
+			_ = in.region.AbortMoveIn(true)
+		} else {
+			_ = in.region.AbortMoveIn(false)
+		}
+	}
+	in.Done = true
+	in.Err = ErrCancelled
+	in.CompletedAt = g.eng.Now()
+	return true
+}
+
+// rebuildPostings re-synchronizes the device's early-demultiplexing
+// buffer list with the surviving posted inputs on a port.
+func (g *Genie) rebuildPostings(port int) {
+	if g.nic.Buffering() != netsim.EarlyDemux {
+		return
+	}
+	for g.nic.UnpostInput(port) {
+	}
+	for _, in := range g.recvQ[port] {
+		switch {
+		case in.ref != nil:
+			g.nic.PostInput(port, in.ref)
+		case in.kbuf != nil:
+			g.nic.PostInput(port, in.kbuf)
+		}
+	}
+}
+
+// Input posts an input operation of up to length bytes on port.
+//
+// For application-allocated semantics (copy, emulated copy, share,
+// emulated share) the data is delivered at va in the caller's buffer.
+// For system-allocated semantics (the move family) va is ignored; the
+// system chooses the buffer and reports its address in the completed
+// operation — the API difference at the heart of the taxonomy's
+// allocation dimension (Section 2.1).
+//
+// Prepare-time operations run now (their cost overlaps with the sender
+// and the network, consuming CPU but not end-to-end latency); ready and
+// dispose operations run at packet arrival.
+func (p *Process) Input(port int, sem Semantics, va vm.Addr, length int) (*InputOp, error) {
+	g := p.g
+	if !sem.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadSemantics, int(sem))
+	}
+	if length <= 0 || length > netsim.MaxFrame {
+		return nil, fmt.Errorf("%w: length %d", ErrBadBuffer, length)
+	}
+	in := &InputOp{
+		Sem: sem, Port: port, Want: length,
+		PostedAt: g.eng.Now(), proc: p, va: va,
+	}
+	if _, err := g.checksumApplies(sem); err != nil {
+		return nil, err
+	}
+	g.stats.Inputs++
+
+	scheme := g.nic.Buffering()
+	var prep []charge
+
+	switch sem {
+	case Copy:
+		// Ready-time under early demultiplexing: the system buffer must
+		// be posted before data arrives. Outboard allocates at arrival.
+		// With checksumming on, the buffer also has room for the trailer.
+		if scheme == netsim.EarlyDemux {
+			kbuf, err := g.allocKernelBuffer(0, length+g.trailerLen(sem))
+			if err != nil {
+				return nil, err
+			}
+			in.kbuf = kbuf
+			g.nic.PostInput(port, kbuf)
+			g.chargeSet(StageReady, []charge{{cost.BufAllocate, length}}, &in.ReceiverCPU)
+		}
+
+	case EmulatedCopy:
+		// System input alignment (Section 5.2): the aligned buffer
+		// starts at the same page offset as the application buffer, so
+		// pages can be swapped at dispose. Outboard needs no buffer at
+		// all (Section 6.2.3).
+		if scheme == netsim.EarlyDemux {
+			off := 0
+			if g.cfg.SystemAlignment {
+				off = int(va) % g.pageSize()
+			}
+			kbuf, err := g.allocKernelBuffer(off, length+g.trailerLen(sem))
+			if err != nil {
+				return nil, err
+			}
+			in.kbuf = kbuf
+			g.nic.PostInput(port, kbuf)
+			g.chargeSet(StageReady, []charge{{cost.BufAllocate, length}}, &in.ReceiverCPU)
+		}
+
+	case Share, EmulatedShare:
+		// In-place input: reference (and for share, wire) the
+		// application's pages and hand them to the device.
+		ref, err := p.as.ReferenceRange(va, length, true)
+		if err != nil {
+			return nil, err
+		}
+		in.ref = ref
+		prep = append(prep, charge{cost.Reference, length})
+		if sem == Share {
+			g.wireFrames(ref)
+			in.wired = true
+			prep = append(prep, charge{cost.Wire, length})
+		}
+		if scheme == netsim.EarlyDemux {
+			g.nic.PostInput(port, ref)
+		}
+
+	case Move:
+		// Ready-time system buffer, as for copy; dispose maps it in.
+		if scheme == netsim.EarlyDemux {
+			kbuf, err := g.allocKernelBuffer(0, length)
+			if err != nil {
+				return nil, err
+			}
+			in.kbuf = kbuf
+			g.nic.PostInput(port, kbuf)
+			g.chargeSet(StageReady, []charge{{cost.BufAllocate, length}}, &in.ReceiverCPU)
+		}
+
+	case EmulatedMove, WeakMove, EmulatedWeakMove:
+		r, ch, err := p.prepareCachedRegion(sem, length)
+		if err != nil {
+			return nil, err
+		}
+		in.region = r
+		prep = append(prep, ch...)
+		ref, err := p.as.ReferenceRegion(r, regionSpan(g, length), true)
+		if err != nil {
+			return nil, err
+		}
+		in.ref = ref
+		prep = append(prep, charge{cost.Reference, length})
+		if sem == WeakMove {
+			g.wireFrames(ref)
+			in.wired = true
+			prep = append(prep, charge{cost.Wire, length})
+		}
+		if scheme == netsim.EarlyDemux {
+			g.nic.PostInput(port, ref)
+		}
+	}
+
+	g.chargeSet(StagePrepare, prep, &in.ReceiverCPU)
+	g.recvQ[port] = append(g.recvQ[port], in)
+	return in, nil
+}
+
+// regionSpan returns the bytes a system-allocated input region must
+// cover: under pooled buffering, the posted length plus the device's
+// payload placement offset (unstripped headers), so swapped overlay
+// pages always fit. Early-demultiplexed and outboard devices honor the
+// posted buffer exactly.
+func regionSpan(g *Genie, length int) int {
+	if g.nic.Buffering() == netsim.Pooled {
+		return length + g.nic.PreferredOffset()
+	}
+	return length
+}
+
+// prepareCachedRegion implements region caching (Section 2.2): dequeue a
+// previously moved-out region of the right size, or allocate a fresh one
+// marked moving in.
+func (p *Process) prepareCachedRegion(sem Semantics, length int) (*vm.Region, []charge, error) {
+	g := p.g
+	weak := sem == WeakMove || sem == EmulatedWeakMove
+	span := regionSpan(g, length)
+	size := (span + g.pageSize() - 1) / g.pageSize() * g.pageSize()
+	if r := p.as.DequeueCached(size, weak); r != nil {
+		if err := r.MarkMovingIn(); err != nil {
+			return nil, nil, err
+		}
+		g.stats.RegionsReused++
+		return r, nil, nil
+	}
+	r, err := p.as.AllocRegion(size, vm.MovingIn)
+	if err != nil {
+		return nil, nil, err
+	}
+	g.stats.RegionsAllocated++
+	return r, []charge{{cost.RegionCreate, 0}}, nil
+}
+
+// checkRegion verifies at dispose time that a cached region prepared for
+// input is still present in the application address space; if the
+// application (advertently or not) removed it mid-input, the in-flight
+// pages are mapped to a fresh region so the location returned to the
+// application is always valid (Section 6.2.1).
+func (g *Genie) checkRegion(p *Process, r *vm.Region, ref *vm.IORef, length int) (*vm.Region, error) {
+	if !r.Removed() {
+		return r, nil
+	}
+	g.stats.RegionsRemapped++
+	nr, err := p.as.AllocRegion(r.Len(), vm.MovingIn)
+	if err != nil {
+		return nil, err
+	}
+	if err := nr.AdoptFrames(ref.Frames()); err != nil {
+		return nil, err
+	}
+	return nr, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"repro/internal/cost"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Stage is the processing stage an operation was charged in.
+type Stage int
+
+// Processing stages (Section 6).
+const (
+	StagePrepare Stage = iota
+	StageReady
+	StageDispose
+)
+
+var stageNames = [...]string{"prepare", "ready", "dispose"}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "Stage?"
+}
+
+// OpRecord is one instrumented primitive operation, analogous to the
+// paper's cycle-counter samples.
+type OpRecord struct {
+	Op      cost.Op
+	Bytes   int
+	Latency sim.Duration
+	Stage   Stage
+	At      sim.Time
+}
+
+// Instrumentation records per-operation latencies, from which the
+// experiment harness recovers the Table 6 linear fits.
+type Instrumentation struct {
+	Enabled bool
+	records []OpRecord
+}
+
+func (in *Instrumentation) record(r OpRecord) {
+	if in.Enabled {
+		in.records = append(in.records, r)
+	}
+}
+
+// Records returns all recorded operations.
+func (in *Instrumentation) Records() []OpRecord { return in.records }
+
+// Reset discards recorded operations.
+func (in *Instrumentation) Reset() { in.records = in.records[:0] }
+
+// FitOp least-squares fits latency versus byte count for one operation
+// across all records, recovering the operation's row of Table 6.
+func (in *Instrumentation) FitOp(op cost.Op) (stats.Fit, error) {
+	var xs, ys []float64
+	for _, r := range in.records {
+		if r.Op == op {
+			xs = append(xs, float64(r.Bytes))
+			ys = append(ys, r.Latency.Micros())
+		}
+	}
+	return stats.LinearFit(xs, ys)
+}
+
+// OpsSeen returns the distinct operations recorded, in cost.Op order.
+func (in *Instrumentation) OpsSeen() []cost.Op {
+	seen := make(map[cost.Op]bool)
+	for _, r := range in.records {
+		seen[r.Op] = true
+	}
+	var out []cost.Op
+	for _, op := range cost.Ops() {
+		if seen[op] {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// charge is one primitive operation applied to a byte count.
+type charge struct {
+	op    cost.Op
+	bytes int
+}
+
+// chargeSet applies a sequence of charges at the current simulated time,
+// recording each op and returning the total latency. Every charge also
+// counts as CPU busy time via the supplied accumulator.
+func (g *Genie) chargeSet(stage Stage, charges []charge, cpu *float64) sim.Duration {
+	var total sim.Duration
+	for _, c := range charges {
+		d := g.model.Cost(c.op, c.bytes)
+		if d < 0 {
+			d = 0 // the copyin fit's negative intercept never goes below zero in practice
+		}
+		total += d
+		if cpu != nil {
+			*cpu += d.Micros()
+		}
+		g.instr.record(OpRecord{Op: c.op, Bytes: c.bytes, Latency: d, Stage: stage, At: g.eng.Now()})
+	}
+	return total
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestSendLocalCOW(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tb.A.Genie.NewProcess()
+	dst := tb.A.Genie.NewProcess()
+
+	const n = 2 * 4096
+	va, _ := src.Brk(n)
+	payload := bytes.Repeat([]byte{0x4D}, n)
+	if err := src.Write(va, payload); err != nil {
+		t.Fatal(err)
+	}
+	dva, err := src.SendLocal(dst, va, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n)
+	if err := dst.Read(dva, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("IPC payload corrupted")
+	}
+	if tb.A.Sys.Stats().COWRegionSetups != 1 {
+		t.Fatal("aligned IPC did not use COW")
+	}
+	// Copy semantics: neither side observes the other's later writes.
+	if err := src.Write(va, []byte("SRC!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Read(dva, got[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:4]) == "SRC!" {
+		t.Fatal("destination observed source write (COW broken)")
+	}
+	if err := dst.Write(dva+4096, []byte("DST!")); err != nil {
+		t.Fatal(err)
+	}
+	srcCheck := make([]byte, 4)
+	if err := src.Read(va+4096, srcCheck); err != nil {
+		t.Fatal(err)
+	}
+	if string(srcCheck) == "DST!" {
+		t.Fatal("source observed destination write (COW broken)")
+	}
+}
+
+func TestSendLocalUnalignedCopies(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tb.A.Genie.NewProcess()
+	dst := tb.A.Genie.NewProcess()
+	base, _ := src.Brk(8192)
+	va := base + 100
+	if err := src.Write(va, []byte("unaligned message")); err != nil {
+		t.Fatal(err)
+	}
+	dva, err := src.SendLocal(dst, va, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 17)
+	if err := dst.Read(dva, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "unaligned message" {
+		t.Fatalf("got %q", got)
+	}
+	if tb.A.Sys.Stats().COWRegionSetups != 0 {
+		t.Fatal("unaligned IPC used COW")
+	}
+}
+
+// TestSendLocalInputDisabledCOW: IPC from a buffer with pending network
+// input must copy physically — the full-stack version of Section 3.3.
+func TestSendLocalInputDisabledCOW(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := tb.A.Genie.NewProcess()
+	rxA := tb.B.Genie.NewProcess() // receives network input
+	rxB := tb.B.Genie.NewProcess() // receives IPC copy
+
+	const n = 4096
+	dstVA, _ := rxA.Brk(n)
+	before := bytes.Repeat([]byte{0x11}, n)
+	if err := rxA.Write(dstVA, before); err != nil {
+		t.Fatal(err)
+	}
+	// Post an in-place network input on rxA's buffer...
+	if _, err := rxA.Input(1, EmulatedShare, dstVA, n); err != nil {
+		t.Fatal(err)
+	}
+	// ...then IPC that same buffer to rxB with copy semantics.
+	ipcVA, err := rxA.SendLocal(rxB, dstVA, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.B.Sys.Stats().PhysRegionCopies != 1 {
+		t.Fatal("pending input did not force a physical IPC copy")
+	}
+	// The network input now arrives; rxB's copy must not see it.
+	srcVA, _ := sender.Brk(n)
+	if err := sender.Write(srcVA, bytes.Repeat([]byte{0x99}, n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sender.Output(1, EmulatedShare, srcVA, n); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run()
+	got := make([]byte, n)
+	if err := rxB.Read(ipcVA, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, before) {
+		t.Fatal("IPC copy observed DMA input (copy semantics violated)")
+	}
+	// rxA sees the arrived data.
+	if err := rxA.Read(dstVA, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x99 {
+		t.Fatal("network input lost")
+	}
+}
+
+// TestProcessForkThenTransfer: a forked process inherits the parent's
+// buffers by COW and can immediately use them for network I/O.
+func TestProcessForkThenTransfer(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := tb.A.Genie.NewProcess()
+	receiver := tb.B.Genie.NewProcess()
+	const n = 2 * 4096
+	src, _ := parent.Brk(n)
+	payload := bytes.Repeat([]byte{0x77}, n)
+	if err := parent.Write(src, payload); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parent overwrites after the fork; the child outputs its
+	// inherited (pre-overwrite) view.
+	if err := parent.Write(src, bytes.Repeat([]byte{0x00}, n)); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := receiver.Brk(n)
+	_, in, err := tb.Transfer(child, receiver, 1, EmulatedCopy, src, dst, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n)
+	if err := receiver.Read(in.Addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("child transmitted the parent's post-fork overwrite")
+	}
+}
+
+func TestSendLocalErrors(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tb.A.Genie.NewProcess()
+	b := tb.B.Genie.NewProcess() // different host
+	va, _ := a.Brk(4096)
+	if _, err := a.SendLocal(b, va, 4096); !errors.Is(err, ErrDifferentHost) {
+		t.Fatalf("cross-host IPC: err = %v", err)
+	}
+	c := tb.A.Genie.NewProcess()
+	if _, err := a.SendLocal(c, va, 0); !errors.Is(err, ErrBadBuffer) {
+		t.Fatalf("zero length: err = %v", err)
+	}
+	if _, err := a.SendLocal(c, 0xdead000, 4096); err == nil {
+		t.Fatal("IPC from unmapped range succeeded")
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Host bundles one machine: physical memory, VM system, adapter, and
+// the Genie framework instance.
+type Host struct {
+	Name  string
+	Phys  *mem.PhysMem
+	Sys   *vm.System
+	NIC   *netsim.NIC
+	Genie *Genie
+}
+
+// TestbedConfig describes the two-machine experimental setup of
+// Section 7: a pair of hosts connected by a Credit Net ATM link.
+type TestbedConfig struct {
+	// Model prices primitive operations and the link; defaults to the
+	// paper's baseline (Micron P166 at OC-3).
+	Model *cost.Model
+	// Buffering selects the receiver-side device architecture.
+	Buffering netsim.InputBuffering
+	// OverlayOff is the device's payload placement offset within the
+	// first input page (unstripped headers); applications query it via
+	// PreferredAlignment.
+	OverlayOff int
+	// FramesPerHost sizes each host's physical memory; 0 picks a size
+	// ample for 60 KB datagram sweeps.
+	FramesPerHost int
+	// PoolPages sizes the device overlay pool (pooled buffering).
+	PoolPages int
+	// OutboardKB sizes adapter staging memory (outboard buffering).
+	OutboardKB int
+	// MTU fragments datagrams into multiple packets on the wire
+	// (0 = single AAL5 frames, the paper's configuration).
+	MTU int
+	// DemandPaging wires each host's pageout daemon into its allocator:
+	// memory pressure evicts pages (never input-referenced or wired
+	// ones) instead of failing allocations.
+	DemandPaging bool
+	// Genie holds framework tunables; zero value takes the defaults.
+	Genie Config
+}
+
+// Testbed is a two-host experimental setup on one simulation engine.
+type Testbed struct {
+	Eng   *sim.Engine
+	Model *cost.Model
+	A, B  *Host
+	Link  *netsim.Link
+}
+
+// NewTestbed builds the two-machine setup.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.Model == nil {
+		cfg.Model = cost.Baseline()
+	}
+	if cfg.FramesPerHost == 0 {
+		cfg.FramesPerHost = 512
+	}
+	if cfg.PoolPages == 0 {
+		cfg.PoolPages = 64
+	}
+	if cfg.OutboardKB == 0 {
+		cfg.OutboardKB = 256
+	}
+	if cfg.Genie == (Config{}) {
+		cfg.Genie = DefaultConfig()
+	}
+	eng := sim.New()
+	tb := &Testbed{Eng: eng, Model: cfg.Model}
+
+	build := func(name string) (*Host, error) {
+		pm := mem.New(cfg.FramesPerHost, cfg.Model.Platform.PageSize)
+		sys := vm.NewSystem(pm)
+		if cfg.DemandPaging {
+			sys.EnableDemandPaging(0)
+		}
+		nicCfg := netsim.NICConfig{
+			Name:       name,
+			Buffering:  cfg.Buffering,
+			OverlayOff: cfg.OverlayOff,
+			MTU:        cfg.MTU,
+		}
+		switch cfg.Buffering {
+		case netsim.Pooled:
+			pool, err := netsim.NewOverlayPool(pm, cfg.PoolPages)
+			if err != nil {
+				return nil, err
+			}
+			nicCfg.Pool = pool
+		case netsim.OutboardBuffering:
+			nicCfg.Outboard = netsim.NewOutboardMemory(cfg.OutboardKB * 1024)
+		}
+		nic, err := netsim.NewNIC(eng, nicCfg)
+		if err != nil {
+			return nil, err
+		}
+		g, err := NewGenie(name, eng, cfg.Model, sys, nic, cfg.Genie)
+		if err != nil {
+			return nil, err
+		}
+		return &Host{Name: name, Phys: pm, Sys: sys, NIC: nic, Genie: g}, nil
+	}
+
+	var err error
+	if tb.A, err = build("hostA"); err != nil {
+		return nil, fmt.Errorf("core: testbed host A: %w", err)
+	}
+	if tb.B, err = build("hostB"); err != nil {
+		return nil, fmt.Errorf("core: testbed host B: %w", err)
+	}
+	base := cfg.Model.Base()
+	tb.Link = netsim.NewLink(eng, base.PerByte, base.Fixed, tb.A.NIC, tb.B.NIC)
+	return tb, nil
+}
+
+// Run drains the simulation.
+func (tb *Testbed) Run() sim.Time { return tb.Eng.Run() }
+
+// Transfer performs one measured datagram transfer from a sender process
+// on host A to a receiver process on host B: the receiver preposts the
+// input, the sender outputs, and the simulation runs to completion. It
+// returns the completed operations; end-to-end latency is
+// in.CompletedAt - out.StartedAt.
+func (tb *Testbed) Transfer(sender, receiver *Process, port int, sem Semantics, srcVA, dstVA vm.Addr, length int) (*OutputOp, *InputOp, error) {
+	in, err := receiver.Input(port, sem, dstVA, length)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: input: %w", err)
+	}
+	out, err := sender.Output(port, sem, srcVA, length)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: output: %w", err)
+	}
+	tb.Eng.Run()
+	if out.Err != nil {
+		return out, in, fmt.Errorf("core: output failed: %w", out.Err)
+	}
+	if in.Err != nil {
+		return out, in, fmt.Errorf("core: input failed: %w", in.Err)
+	}
+	if !in.Done {
+		return out, in, fmt.Errorf("core: input never completed")
+	}
+	return out, in, nil
+}
+
+// RecycleIOBuffer returns a consumed (moved-in) input region to the
+// region cache without an output, modeling the steady state of an
+// application with balanced input and output that reuses system-
+// allocated buffers (Section 2.1). The weak flag selects the queue.
+func (p *Process) RecycleIOBuffer(r *vm.Region, weak bool) error {
+	if err := r.MarkMovingOut(); err != nil {
+		return err
+	}
+	if weak {
+		return r.MarkWeaklyMovedOut()
+	}
+	p.as.Invalidate(r.Start(), r.Len())
+	return r.MarkMovedOut()
+}

@@ -1,0 +1,193 @@
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Linear is a latency model that is linear in the data length:
+// PerByte*B + Fixed microseconds for B bytes.
+type Linear struct {
+	PerByte float64 // microseconds per byte
+	Fixed   float64 // microseconds
+}
+
+// Eval returns the latency for b bytes.
+func (l Linear) Eval(b int) sim.Duration {
+	return sim.Duration(l.PerByte*float64(b) + l.Fixed)
+}
+
+func (l Linear) String() string {
+	return fmt.Sprintf("%.6g B + %.4g", l.PerByte, l.Fixed)
+}
+
+// Model holds the primitive-operation costs and base-latency parameters
+// for one platform and network configuration.
+type Model struct {
+	Platform Platform
+	Net      Network
+
+	ops [numOps]Linear
+
+	// Base latency parameters (Section 8). BasePerByte is
+	// network-dominated: the inverse of the net transmission rate after
+	// ATM cell and AAL5 framing overheads. The fixed term splits into a
+	// hardware part (I/O bus, device and network latencies) and an
+	// operating-system part that scales with CPU speed.
+	BasePerByte float64
+	BaseFixedHW float64
+	BaseFixedOS float64
+
+	// CPU utilization accounting (Figure 4). PerCellCPU is the
+	// protocol/driver work per 48-byte ATM cell processed at the
+	// receiver; FixedKernelCPU is the per-datagram interrupt and
+	// syscall-return work. Both overlap with reception, so they consume
+	// CPU without appearing in end-to-end latency.
+	PerCellCPU     float64
+	FixedKernelCPU float64
+}
+
+// Cost returns the latency of op applied to b bytes.
+func (m *Model) Cost(op Op, b int) sim.Duration { return m.ops[op].Eval(b) }
+
+// OpModel returns the linear model for op.
+func (m *Model) OpModel(op Op) Linear { return m.ops[op] }
+
+// SetOpModel overrides the linear model for op (used by ablations).
+func (m *Model) SetOpModel(op Op, l Linear) { m.ops[op] = l }
+
+// Base returns the base-latency linear model: the end-to-end cost that
+// is independent of buffering semantics (application-kernel crossings,
+// driver, device, network and interrupt latencies).
+func (m *Model) Base() Linear {
+	return Linear{PerByte: m.BasePerByte, Fixed: m.BaseFixedHW + m.BaseFixedOS}
+}
+
+// BaseLatency returns the base latency for a b-byte datagram.
+func (m *Model) BaseLatency(b int) sim.Duration { return m.Base().Eval(b) }
+
+// Clone returns a deep copy of the model, so ablations can mutate costs
+// without touching the shared baseline.
+func (m *Model) Clone() *Model {
+	c := *m
+	return &c
+}
+
+// ATM constants for the Credit Net link model.
+const (
+	// CellPayload is the ATM cell payload size in bytes.
+	CellPayload = 48
+	// CellSize is the full ATM cell size in bytes.
+	CellSize = 53
+	// MaxAAL5Datagram is the largest page-multiple datagram AAL5 allows
+	// on a 4 KB-page machine (60 KB), the sweep limit used in the paper.
+	MaxAAL5Datagram = 60 * 1024
+)
+
+// linkEfficiency is the measured fraction of the nominal ATM line rate
+// available to datagram payload on Credit Net: the 48/53 cell tax
+// combined with AAL5 trailers and PCI burst-DMA overhead. The value is
+// calibrated so that at OC-3 the base multiplicative term equals the
+// paper's measured 0.0598 us/byte (an effective 133.8 Mbps).
+const linkEfficiency = 8.0 / (0.0598 * 155)
+
+// baseMult returns the network-dominated base per-byte cost for a
+// nominal link rate in Mbps.
+func baseMult(rateMbps float64) float64 {
+	return 8.0 / (rateMbps * linkEfficiency)
+}
+
+// NewModel builds the cost model for a platform and network. The Micron
+// P166 at OC-3 yields exactly the paper's Table 6; other configurations
+// are derived via the Section 8 scaling rules relative to that baseline.
+func NewModel(p Platform, n Network) *Model {
+	m := &Model{Platform: p, Net: n}
+
+	// Paper Table 6, measured on the Micron P166 (microseconds, B bytes).
+	base := [numOps]Linear{
+		Copyin:                          {0.0180, -3},
+		Copyout:                         {0.0220, 15},
+		Reference:                       {0.000363, 5},
+		Unreference:                     {0.000100, 2},
+		Wire:                            {0.00141, 18},
+		Unwire:                          {0.000237, 10},
+		ReadOnly:                        {0.000367, 2},
+		Invalidate:                      {0.000373, 2},
+		Swap:                            {0.00163, 15},
+		RegionCreate:                    {0, 24},
+		RegionRemove:                    {0, 24}, // symmetric with create; dispose-time only
+		RegionFill:                      {0.000398, 9},
+		RegionFillOverlayRefill:         {0.000716, 11},
+		RegionMap:                       {0.000474, 6},
+		RegionMarkOut:                   {0, 3},
+		RegionMarkIn:                    {0, 1},
+		RegionCheck:                     {0, 5},
+		RegionCheckUnrefReinstateMarkIn: {0.000507, 11},
+		RegionCheckUnrefMarkIn:          {0.000194, 6},
+		OverlayAllocate:                 {0, 7},
+		Overlay:                         {0, 7},
+		OverlayDeallocate:               {0.000344, 12},
+		BufAllocate:                     {0, 0},       // cached pool allocation; negligible per the paper's fits
+		BufDeallocate:                   {0, 0},       // pool return; negligible
+		OutboardDMA:                     {0.0168, 5},  // PCI burst DMA from adapter memory (~475 Mbps effective)
+		ChecksumRead:                    {0.0120, 5},  // read-only pass: one memory access per byte
+		ChecksumCopy:                    {0.0240, 15}, // read+write+add: slightly above copyout
+		ZeroComplete:                    {0.0220, 0},  // memory-write bound, like copyout
+	}
+
+	cpuRatio := MicronP166.SPECint / p.SPECint
+	memRatio := MicronP166.MemBWMbps / p.MemBWMbps
+	cacheRatio := p.CacheRatio
+	if cacheRatio == 0 {
+		cacheRatio = memRatio // default: copyin scales like memory
+	}
+
+	for op := Op(0); op < numOps; op++ {
+		l := base[op]
+		if op == OutboardDMA {
+			// I/O bus transfers are bound by the (identical) PCI bus on
+			// every platform; they do not scale with CPU or memory speed.
+			m.ops[op] = l
+			continue
+		}
+		switch OpClass(op) {
+		case ClassMemory:
+			l.PerByte *= memRatio
+			// Memory-dominated fixed terms are negligible per the paper;
+			// keep the baseline value CPU-scaled.
+			l.Fixed *= cpuRatio
+		case ClassCache:
+			l.PerByte *= cacheRatio
+			l.Fixed *= cacheRatio
+		default:
+			f := p.ArchFactor[op]
+			if f.Mult == 0 {
+				f.Mult = 1
+			}
+			if f.Fixed == 0 {
+				f.Fixed = 1
+			}
+			l.PerByte *= cpuRatio * f.Mult
+			l.Fixed *= cpuRatio * f.Fixed
+		}
+		m.ops[op] = l
+	}
+
+	// Base latency: 0.0598B + 130 on the baseline. The fixed term splits
+	// into ~60 us of bus/device/network latency and ~70 us of OS
+	// overhead that scales with CPU speed.
+	m.BasePerByte = baseMult(n.RateMbps)
+	m.BaseFixedHW = 60
+	m.BaseFixedOS = 70 * cpuRatio
+
+	// Figure 4 calibration: per-cell protocol work and per-datagram
+	// fixed kernel work at the receiver, both CPU-dominated.
+	m.PerCellCPU = 0.20 * cpuRatio
+	m.FixedKernelCPU = 45 * cpuRatio
+	return m
+}
+
+// Baseline returns the paper's reference configuration: Micron P166 over
+// Credit Net ATM at OC-3.
+func Baseline() *Model { return NewModel(MicronP166, CreditNetOC3) }

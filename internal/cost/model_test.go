@@ -1,0 +1,288 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestBaselineMatchesTable6 checks the baseline against every row of the
+// paper's Table 6.
+func TestBaselineMatchesTable6(t *testing.T) {
+	m := Baseline()
+	want := map[Op]Linear{
+		Copyin:                          {0.0180, -3},
+		Copyout:                         {0.0220, 15},
+		Reference:                       {0.000363, 5},
+		Unreference:                     {0.000100, 2},
+		Wire:                            {0.00141, 18},
+		Unwire:                          {0.000237, 10},
+		ReadOnly:                        {0.000367, 2},
+		Invalidate:                      {0.000373, 2},
+		Swap:                            {0.00163, 15},
+		RegionCreate:                    {0, 24},
+		RegionFill:                      {0.000398, 9},
+		RegionFillOverlayRefill:         {0.000716, 11},
+		RegionMap:                       {0.000474, 6},
+		RegionMarkOut:                   {0, 3},
+		RegionMarkIn:                    {0, 1},
+		RegionCheck:                     {0, 5},
+		RegionCheckUnrefReinstateMarkIn: {0.000507, 11},
+		RegionCheckUnrefMarkIn:          {0.000194, 6},
+		OverlayAllocate:                 {0, 7},
+		Overlay:                         {0, 7},
+		OverlayDeallocate:               {0.000344, 12},
+	}
+	for op, l := range want {
+		got := m.OpModel(op)
+		if !almost(got.PerByte, l.PerByte, 1e-12) || !almost(got.Fixed, l.Fixed, 1e-9) {
+			t.Errorf("%v: got %v, want %v", op, got, l)
+		}
+	}
+}
+
+func TestBaselineBaseLatency(t *testing.T) {
+	m := Baseline()
+	b := m.Base()
+	if !almost(b.PerByte, 0.0598, 1e-6) {
+		t.Errorf("base per-byte = %v, want 0.0598", b.PerByte)
+	}
+	if !almost(b.Fixed, 130, 1e-9) {
+		t.Errorf("base fixed = %v, want 130", b.Fixed)
+	}
+	if got := m.BaseLatency(61440).Micros(); !almost(got, 0.0598*61440+130, 0.01) {
+		t.Errorf("BaseLatency(60KB) = %v", got)
+	}
+}
+
+func TestLinearEval(t *testing.T) {
+	l := Linear{PerByte: 0.5, Fixed: 10}
+	if got := l.Eval(100).Micros(); got != 60 {
+		t.Fatalf("Eval(100) = %v, want 60", got)
+	}
+	if got := l.Eval(0).Micros(); got != 10 {
+		t.Fatalf("Eval(0) = %v, want 10", got)
+	}
+}
+
+// TestOC12Prediction reproduces the paper's Section 8 extrapolation:
+// at OC-12 with 60 KB datagrams and early demultiplexing, throughput is
+// ~140 Mbps for copy, ~404 for emulated copy, ~463 for emulated share,
+// ~380 for move semantics.
+func TestOC12Prediction(t *testing.T) {
+	m := NewModel(MicronP166, CreditNetOC12)
+	const b = MaxAAL5Datagram
+	throughput := func(extra float64) float64 {
+		lat := m.BaseLatency(b).Micros() + extra
+		return float64(b) * 8 / lat // Mbps (us * Mbit alignment)
+	}
+	copyLat := m.Cost(Copyin, b).Micros() + m.Cost(Copyout, b).Micros()
+	emCopyLat := m.Cost(Reference, b).Micros() + m.Cost(ReadOnly, b).Micros() + m.Cost(Swap, b).Micros()
+	emShareLat := m.Cost(Reference, b).Micros() + m.Cost(Unreference, b).Micros()
+	moveLat := m.Cost(Reference, b).Micros() + m.Cost(Wire, b).Micros() +
+		m.Cost(RegionMarkOut, b).Micros() + m.Cost(Invalidate, b).Micros() +
+		m.Cost(RegionCreate, b).Micros() + m.Cost(RegionFill, b).Micros() + m.Cost(RegionMap, b).Micros()
+
+	cases := []struct {
+		name      string
+		extra     float64
+		wantMbps  float64
+		tolerance float64
+	}{
+		{"copy", copyLat, 140, 8},
+		{"emulated copy", emCopyLat, 404, 10},
+		{"emulated share", emShareLat, 463, 12},
+		{"move", moveLat, 380, 10},
+	}
+	for _, c := range cases {
+		got := throughput(c.extra)
+		if math.Abs(got-c.wantMbps) > c.tolerance {
+			t.Errorf("%s: predicted %.0f Mbps, paper says %.0f", c.name, got, c.wantMbps)
+		}
+	}
+}
+
+// TestScalingClasses verifies the Section 8 scaling rules across the
+// derived platforms.
+func TestScalingClasses(t *testing.T) {
+	base := Baseline()
+	for _, p := range []Platform{GatewayP5_90, AlphaStation255} {
+		m := NewModel(p, CreditNetOC3)
+		// Memory-dominated: copyout per-byte scales with memory BW ratio.
+		wantMem := p.MemRatio()
+		gotMem := m.OpModel(Copyout).PerByte / base.OpModel(Copyout).PerByte
+		if !almost(gotMem, wantMem, 1e-9) {
+			t.Errorf("%s: copyout ratio %.3f, want %.3f", p.Name, gotMem, wantMem)
+		}
+		// Cache-dominated: copyin ratio within the estimated bounds.
+		lo, hi := p.CacheRatioBounds()
+		gotCache := m.OpModel(Copyin).PerByte / base.OpModel(Copyin).PerByte
+		if gotCache < lo-1e-9 || gotCache > hi+1e-9 {
+			t.Errorf("%s: copyin ratio %.3f outside [%.3f, %.3f]", p.Name, gotCache, lo, hi)
+		}
+		// CPU-dominated: every ratio at or above ~the SPECint lower
+		// bound within the documented architecture variance.
+		cpuLo := p.CPURatioLowerBound()
+		for _, op := range Ops() {
+			if OpClass(op) != ClassCPU {
+				continue
+			}
+			bl := base.OpModel(op)
+			ml := m.OpModel(op)
+			if bl.PerByte > 0 {
+				r := ml.PerByte / bl.PerByte
+				if r < cpuLo*0.5 || r > cpuLo*3.0 {
+					t.Errorf("%s: %v per-byte ratio %.2f wildly off CPU bound %.2f", p.Name, op, r, cpuLo)
+				}
+			}
+		}
+		_ = cpuLo
+	}
+}
+
+// TestTable8Bounds reproduces the "estimated" column of Table 8 from the
+// Table 5 hardware parameters.
+func TestTable8Bounds(t *testing.T) {
+	// Gateway P5-90.
+	if got := GatewayP5_90.MemRatio(); !almost(got, 2.40, 0.01) {
+		t.Errorf("Gateway mem ratio = %.3f, want 2.40", got)
+	}
+	lo, hi := GatewayP5_90.CacheRatioBounds()
+	if !almost(lo, 1.44, 0.01) || !almost(hi, 3.33, 0.01) {
+		t.Errorf("Gateway cache bounds = [%.2f, %.2f], want [1.44, 3.33]", lo, hi)
+	}
+	if got := GatewayP5_90.CPURatioLowerBound(); !almost(got, 1.57, 0.01) {
+		t.Errorf("Gateway CPU bound = %.3f, want 1.57", got)
+	}
+	// AlphaStation.
+	if got := AlphaStation255.MemRatio(); !almost(got, 1.00, 0.01) {
+		t.Errorf("Alpha mem ratio = %.3f, want 1.00", got)
+	}
+	lo, hi = AlphaStation255.CacheRatioBounds()
+	if !almost(lo, 0.26, 0.01) || !almost(hi, 1.39, 0.01) {
+		t.Errorf("Alpha cache bounds = [%.2f, %.2f], want [0.26, 1.39]", lo, hi)
+	}
+	if got := AlphaStation255.CPURatioLowerBound(); !almost(got, 1.30, 0.01) {
+		t.Errorf("Alpha CPU bound = %.3f, want 1.30", got)
+	}
+}
+
+func TestNetworkScalingOfBase(t *testing.T) {
+	oc3 := Baseline()
+	oc12 := NewModel(MicronP166, CreditNetOC12)
+	ratio := oc12.BasePerByte / oc3.BasePerByte
+	if !almost(ratio, 155.0/622.0, 1e-9) {
+		t.Errorf("base per-byte ratio = %v, want 155/622", ratio)
+	}
+	// The fixed term is rate-independent.
+	if oc12.BaseFixedHW+oc12.BaseFixedOS != oc3.BaseFixedHW+oc3.BaseFixedOS {
+		t.Error("base fixed term changed with network rate")
+	}
+}
+
+// TestChecksumCostArgument verifies the Section 9 cost relation the
+// checksum ablation relies on, on every platform: swap plus a read-only
+// verification pass is cheaper than an integrated read-and-write pass,
+// which in turn beats copy-then-verify.
+func TestChecksumCostArgument(t *testing.T) {
+	const b = MaxAAL5Datagram
+	for _, p := range Platforms() {
+		m := NewModel(p, CreditNetOC3)
+		swapVerify := m.Cost(Swap, b) + m.Cost(ChecksumRead, b)
+		integrated := m.Cost(ChecksumCopy, b)
+		copyVerify := m.Cost(Copyout, b) + m.Cost(ChecksumRead, b)
+		if !(swapVerify < integrated && integrated < copyVerify) {
+			t.Errorf("%s: swap+read %.0f, integrated %.0f, copy+read %.0f — ordering broken",
+				p.Name, swapVerify.Micros(), integrated.Micros(), copyVerify.Micros())
+		}
+	}
+}
+
+// TestOutboardDMADoesNotScale: the PCI bus is identical across the Table
+// 5 machines, so outboard DMA costs must not scale.
+func TestOutboardDMADoesNotScale(t *testing.T) {
+	base := Baseline()
+	for _, p := range []Platform{GatewayP5_90, AlphaStation255} {
+		m := NewModel(p, CreditNetOC3)
+		if m.OpModel(OutboardDMA) != base.OpModel(OutboardDMA) {
+			t.Errorf("%s: outboard DMA cost scaled", p.Name)
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	a := Baseline()
+	b := a.Clone()
+	b.SetOpModel(Swap, Linear{1, 1})
+	if a.OpModel(Swap).PerByte == 1 {
+		t.Fatal("Clone shares op table with original")
+	}
+}
+
+func TestOpStringsAndClasses(t *testing.T) {
+	for _, op := range Ops() {
+		if op.String() == "op?" {
+			t.Errorf("op %d has no name", int(op))
+		}
+	}
+	if OpClass(Copyout) != ClassMemory || OpClass(Copyin) != ClassCache || OpClass(Swap) != ClassCPU {
+		t.Fatal("wrong op classes")
+	}
+	if OpClass(ChecksumRead) != ClassMemory || OpClass(ChecksumCopy) != ClassMemory {
+		t.Fatal("checksum passes must be memory-dominated")
+	}
+	if !PageTableOp(Swap) || PageTableOp(Copyin) {
+		t.Fatal("wrong page-table op classification")
+	}
+	if ClassCPU.String() == "Class?" || Op(999).String() != "op?" {
+		t.Fatal("string fallbacks broken")
+	}
+}
+
+func TestLANsTable1(t *testing.T) {
+	lans := LANs()
+	if len(lans) != 5 {
+		t.Fatalf("LANs = %d entries, want 5", len(lans))
+	}
+	if lans[3].Name != "ATM" || lans[3].Year != 1989 || lans[3].Mbps[0] != 155 {
+		t.Fatalf("ATM row = %+v", lans[3])
+	}
+}
+
+// Property: costs are monotone in data length for nonnegative per-byte
+// terms (all ops except copyin's negative intercept artifact keep
+// nonnegative cost at page-multiple sizes).
+func TestPropertyCostMonotone(t *testing.T) {
+	m := Baseline()
+	prop := func(opRaw uint8, b1, b2 uint16) bool {
+		op := Op(int(opRaw) % int(numOps))
+		lo, hi := int(b1), int(b2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m.Cost(op, hi) >= m.Cost(op, lo)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: derived models preserve cost ordering at 60 KB for the ops
+// on each semantics' critical path (copy's data passing always costs
+// more than emulated copy's on every platform).
+func TestPropertyCopyAlwaysWorst(t *testing.T) {
+	for _, p := range Platforms() {
+		for _, n := range []Network{CreditNetOC3, CreditNetOC12} {
+			m := NewModel(p, n)
+			b := MaxAAL5Datagram
+			copyCost := m.Cost(Copyin, b) + m.Cost(Copyout, b)
+			emCopyCost := m.Cost(Reference, b) + m.Cost(ReadOnly, b) + m.Cost(Swap, b)
+			if copyCost <= emCopyCost {
+				t.Errorf("%s/%s: copy %.0f <= emulated copy %.0f at 60KB",
+					p.Name, n.Name, copyCost.Micros(), emCopyCost.Micros())
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package cost models the latency of primitive data passing operations.
+//
+// The baseline model reproduces Table 6 of the OSDI '96 paper: each
+// primitive operation has a latency that is linear in the data length,
+// aB + b microseconds, measured on the Micron P166 over Credit Net ATM
+// at OC-3. Models for other platforms and network rates are derived with
+// the paper's Section 8 scaling rules: network-dominated parameters scale
+// with the inverse of the net transmission rate, memory-dominated ones
+// with the inverse of main-memory copy bandwidth, cache-dominated ones
+// between the L2 and memory copy bandwidths, and everything else with CPU
+// speed as estimated by SPECint95.
+package cost
+
+// Op identifies a primitive data passing operation (paper Table 6, plus
+// the buffer-allocation and zeroing steps of Tables 2-4 whose costs the
+// paper folds into its estimates).
+type Op int
+
+// Primitive data passing operations.
+const (
+	// Copyin copies output data from application to system buffer (reads
+	// typically hit the cache on output).
+	Copyin Op = iota
+	// Copyout copies input data from system to application buffer (reads
+	// come from main memory).
+	Copyout
+	// Reference performs page referencing: build the physical descriptor,
+	// verify access, raise reference counts.
+	Reference
+	// Unreference drops the I/O references.
+	Unreference
+	// Wire pins a buffer's pages against pageout.
+	Wire
+	// Unwire releases the pins.
+	Unwire
+	// ReadOnly removes write permissions (TCOW protection).
+	ReadOnly
+	// Invalidate removes all access permissions (move-out hiding).
+	Invalidate
+	// Swap exchanges pages between system and application buffers.
+	Swap
+	// RegionCreate allocates a fresh region.
+	RegionCreate
+	// RegionRemove removes a region from an address space.
+	RegionRemove
+	// RegionFill attaches input pages to a region.
+	RegionFill
+	// RegionFillOverlayRefill fills a region from overlay pages and
+	// refills the overlay pool (pooled move input).
+	RegionFillOverlayRefill
+	// RegionMap installs mappings for a freshly filled region.
+	RegionMap
+	// RegionMarkOut marks a region moving/moved out and enqueues it.
+	RegionMarkOut
+	// RegionMarkIn marks a region moved in.
+	RegionMarkIn
+	// RegionCheck verifies a cached region is still present.
+	RegionCheck
+	// RegionCheckUnrefReinstateMarkIn is the fused emulated-move input
+	// dispose: check region, unreference, reinstate accesses, mark in.
+	RegionCheckUnrefReinstateMarkIn
+	// RegionCheckUnrefMarkIn is the fused emulated-weak-move input
+	// dispose: check region, unreference, mark in.
+	RegionCheckUnrefMarkIn
+	// OverlayAllocate takes overlay pages from the device pool.
+	OverlayAllocate
+	// Overlay installs overlay pages as the input target.
+	Overlay
+	// OverlayDeallocate returns overlay pages to the device pool.
+	OverlayDeallocate
+	// BufAllocate allocates a system or aligned input buffer from the
+	// kernel pool. The paper's latency fits imply a negligible cost
+	// (buffers come from a cached pool), so the baseline charges zero;
+	// the op is still recorded for completeness.
+	BufAllocate
+	// BufDeallocate returns a system buffer to the kernel pool.
+	BufDeallocate
+	// OutboardDMA transfers a staged frame from outboard adapter memory
+	// into host memory over the I/O bus (outboard buffering only).
+	OutboardDMA
+	// ChecksumRead is a read-only Internet checksum pass over a buffer
+	// (verification after VM-based data passing; Section 9 discussion).
+	ChecksumRead
+	// ChecksumCopy is an integrated one-pass copy-and-checksum
+	// (Clark & Tennenhouse integrated layer processing).
+	ChecksumCopy
+	// ZeroComplete clears the unused tail of system pages before mapping
+	// them to the application (move-semantics protection).
+	ZeroComplete
+	numOps
+)
+
+var opNames = [...]string{
+	Copyin:                          "copyin",
+	Copyout:                         "copyout",
+	Reference:                       "reference",
+	Unreference:                     "unreference",
+	Wire:                            "wire",
+	Unwire:                          "unwire",
+	ReadOnly:                        "read-only",
+	Invalidate:                      "invalidate",
+	Swap:                            "swap",
+	RegionCreate:                    "region create",
+	RegionRemove:                    "region remove",
+	RegionFill:                      "region fill",
+	RegionFillOverlayRefill:         "region fill & overlay refill",
+	RegionMap:                       "region map",
+	RegionMarkOut:                   "region mark out",
+	RegionMarkIn:                    "region mark in",
+	RegionCheck:                     "region check",
+	RegionCheckUnrefReinstateMarkIn: "region check, unreference, reinstate, mark in",
+	RegionCheckUnrefMarkIn:          "region check, unreference, mark in",
+	OverlayAllocate:                 "overlay allocate",
+	Overlay:                         "overlay",
+	OverlayDeallocate:               "overlay deallocate",
+	BufAllocate:                     "buffer allocate",
+	BufDeallocate:                   "buffer deallocate",
+	OutboardDMA:                     "outboard DMA",
+	ChecksumRead:                    "checksum (read pass)",
+	ChecksumCopy:                    "checksum & copy (one pass)",
+	ZeroComplete:                    "zero-complete",
+}
+
+func (op Op) String() string {
+	if op >= 0 && int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// Ops returns all operations in declaration order.
+func Ops() []Op {
+	ops := make([]Op, numOps)
+	for i := range ops {
+		ops[i] = Op(i)
+	}
+	return ops
+}
+
+// Class is the dominant hardware resource of a model parameter,
+// determining how it scales across platforms (Section 8).
+type Class int
+
+// Scaling classes.
+const (
+	// ClassCPU parameters scale inversely with SPECint95.
+	ClassCPU Class = iota
+	// ClassMemory parameters scale inversely with main-memory copy
+	// bandwidth (copyout; zeroing).
+	ClassMemory
+	// ClassCache parameters scale between the inverses of L2-cache and
+	// main-memory copy bandwidth (copyin).
+	ClassCache
+)
+
+var classNames = [...]string{"CPU-dominated", "memory-dominated", "cache-dominated"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "Class?"
+}
+
+// OpClass returns the scaling class of an operation's cost.
+func OpClass(op Op) Class {
+	switch op {
+	case Copyout, ZeroComplete, ChecksumRead, ChecksumCopy:
+		return ClassMemory
+	case Copyin:
+		return ClassCache
+	default:
+		return ClassCPU
+	}
+}
+
+// PageTableOp reports whether the operation is dominated by page table
+// updates, whose cost the paper notes may diverge from SPECint scaling
+// across architectures (and is especially high on multiprocessors).
+func PageTableOp(op Op) bool {
+	switch op {
+	case ReadOnly, Invalidate, Swap, RegionMap, RegionCheckUnrefReinstateMarkIn:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package cost
+
+// ArchFactor is a per-operation architecture correction applied on top
+// of SPECint scaling. The paper observes (Table 8) that CPU-dominated
+// parameters scale with SPECint only on average: individual operations
+// diverge, mildly on the same architecture (Gateway P5-90) and wildly on
+// a different one (AlphaStation 255/233), page-table updates most of
+// all. The factors below are deterministic synthetic stand-ins for that
+// measured variance; see DESIGN.md's substitution table.
+type ArchFactor struct {
+	Mult  float64 // applied to the per-byte term
+	Fixed float64 // applied to the fixed term
+}
+
+// Platform describes one of the machines from the paper's Table 5.
+type Platform struct {
+	Name       string
+	CPU        string
+	MHz        int
+	SPECint    float64 // SPECint95 (upper bound for P5-90 and Alpha)
+	L1KB       int     // per L1 cache (I and D)
+	L1BWMbps   float64 // L1 copy bandwidth (bcopy, user level)
+	L2KB       int
+	L2BWMbps   float64
+	MemMB      int
+	MemBWMbps  float64
+	PageSize   int
+	CacheRatio float64 // observed copyin scaling vs the P166 (0 = default)
+
+	ArchFactor map[Op]ArchFactor
+}
+
+// CacheRatioBounds returns the paper's estimated bounds for the
+// cache-dominated (copyin) scaling ratio relative to the baseline: the
+// copyin cost per byte lies between 1/L2 bandwidth and 1/memory
+// bandwidth on each machine, so the ratio lies between
+// baseMem/otherL2-style extremes (Table 8).
+func (p Platform) CacheRatioBounds() (lo, hi float64) {
+	return MicronP166.MemBWMbps / p.L2BWMbps, MicronP166.L2BWMbps / p.MemBWMbps
+}
+
+// CPURatioLowerBound returns the estimated lower bound for CPU-dominated
+// scaling relative to the baseline (SPECint ratio; a lower bound because
+// the paper only had SPECint upper bounds for the slower machines).
+func (p Platform) CPURatioLowerBound() float64 {
+	return MicronP166.SPECint / p.SPECint
+}
+
+// MemRatio returns the estimated memory-dominated scaling ratio.
+func (p Platform) MemRatio() float64 {
+	return MicronP166.MemBWMbps / p.MemBWMbps
+}
+
+// The machines of Table 5.
+var (
+	// MicronP166 is the paper's baseline platform.
+	MicronP166 = Platform{
+		Name: "Micron P166", CPU: "Pentium", MHz: 166,
+		SPECint: 4.52,
+		L1KB:    8, L1BWMbps: 3560,
+		L2KB: 256, L2BWMbps: 486,
+		MemMB: 32, MemBWMbps: 351,
+		PageSize: 4096,
+	}
+
+	// GatewayP5_90 has the same architecture as the baseline; its
+	// CPU-dominated parameters scale close to the SPECint ratio with
+	// modest per-op variance (paper: GM 1.79-1.83, range 1.53-2.59
+	// against an estimated lower bound of 1.57).
+	GatewayP5_90 = Platform{
+		Name: "Gateway P5-90", CPU: "Pentium", MHz: 90,
+		SPECint: 2.88, // upper bound (Dell XPS 90 rating)
+		L1KB:    8, L1BWMbps: 1910,
+		L2KB: 256, L2BWMbps: 244,
+		MemMB: 32, MemBWMbps: 146,
+		PageSize:   4096,
+		CacheRatio: 2.46, // observed copyin scaling (Table 8)
+		ArchFactor: map[Op]ArchFactor{
+			Reference:                       {1.08, 1.10},
+			Unreference:                     {1.02, 1.65},
+			Wire:                            {1.14, 1.18},
+			Unwire:                          {1.05, 1.12},
+			ReadOnly:                        {1.18, 1.05},
+			Invalidate:                      {1.20, 1.08},
+			Swap:                            {1.22, 1.25},
+			RegionCreate:                    {1, 1.22},
+			RegionRemove:                    {1, 1.22},
+			RegionFill:                      {1.10, 1.03},
+			RegionFillOverlayRefill:         {1.12, 1.07},
+			RegionMap:                       {1.16, 1.01},
+			RegionMarkOut:                   {1, 0.97},
+			RegionMarkIn:                    {1, 1.00},
+			RegionCheck:                     {1, 1.04},
+			RegionCheckUnrefReinstateMarkIn: {1.15, 1.12},
+			RegionCheckUnrefMarkIn:          {1.06, 1.09},
+			OverlayAllocate:                 {1, 1.15},
+			Overlay:                         {1, 1.10},
+			OverlayDeallocate:               {1.04, 1.20},
+		},
+	}
+
+	// AlphaStation255 has a substantially different architecture; its
+	// CPU-dominated parameters have geometric means consistent with
+	// SPECint scaling but much higher variance (paper: GM 1.54-1.64,
+	// range 0.47-3.77 against an estimated lower bound of 1.30), the
+	// page-table operations diverging most.
+	AlphaStation255 = Platform{
+		Name: "AlphaStation 255/233", CPU: "21064A", MHz: 233,
+		SPECint: 3.48, // SPECint_base95 (unoptimized NetBSD build)
+		L1KB:    16, L1BWMbps: 2860,
+		L2KB: 1024, L2BWMbps: 1366,
+		MemMB: 64, MemBWMbps: 350,
+		PageSize:   8192,
+		CacheRatio: 0.54, // observed copyin scaling (Table 8)
+		ArchFactor: map[Op]ArchFactor{
+			Reference:                       {0.92, 0.78},
+			Unreference:                     {0.58, 0.36},
+			Wire:                            {1.21, 1.35},
+			Unwire:                          {0.85, 0.72},
+			ReadOnly:                        {2.31, 1.92},
+			Invalidate:                      {2.45, 2.10},
+			Swap:                            {2.90, 2.88},
+			RegionCreate:                    {1, 1.48},
+			RegionRemove:                    {1, 1.48},
+			RegionFill:                      {0.95, 0.84},
+			RegionFillOverlayRefill:         {1.12, 0.97},
+			RegionMap:                       {2.52, 2.05},
+			RegionMarkOut:                   {1, 0.61},
+			RegionMarkIn:                    {1, 0.66},
+			RegionCheck:                     {1, 0.70},
+			RegionCheckUnrefReinstateMarkIn: {2.18, 1.76},
+			RegionCheckUnrefMarkIn:          {0.81, 0.74},
+			OverlayAllocate:                 {1, 0.88},
+			Overlay:                         {1, 0.92},
+			OverlayDeallocate:               {0.90, 1.06},
+		},
+	}
+)
+
+// Platforms returns the three machines of Table 5 in the paper's order.
+func Platforms() []Platform {
+	return []Platform{MicronP166, GatewayP5_90, AlphaStation255}
+}
+
+// Network describes a link configuration.
+type Network struct {
+	Name     string
+	RateMbps float64
+}
+
+// Network configurations: the measured OC-3 link and the OC-12 rate used
+// for the paper's Section 8 extrapolation.
+var (
+	CreditNetOC3  = Network{Name: "Credit Net ATM OC-3", RateMbps: 155}
+	CreditNetOC12 = Network{Name: "ATM OC-12", RateMbps: 622}
+)
+
+// LAN is an entry of the paper's Table 1 (introduction): approximate
+// year of introduction and point-to-point bandwidth of popular LANs.
+type LAN struct {
+	Name string
+	Year int
+	Mbps []float64
+}
+
+// LANs reproduces Table 1.
+func LANs() []LAN {
+	return []LAN{
+		{"Token ring", 1972, []float64{1, 4, 16}},
+		{"Ethernet", 1976, []float64{3, 10}},
+		{"FDDI", 1987, []float64{100}},
+		{"ATM", 1989, []float64{155, 622, 2488}},
+		{"HIPPI", 1992, []float64{800, 1600}},
+	}
+}

@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/netsim"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestFigure3Throughput compares the regenerated 60 KB throughputs with
+// the values the paper quotes for Figure 3, within 2 Mbps.
+func TestFigure3Throughput(t *testing.T) {
+	s := Setup{Scheme: netsim.EarlyDemux}
+	for _, sem := range core.AllSemantics() {
+		m, err := Measure(s, sem, 61440)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := PaperFig3ThroughputMbps[sem]
+		if !almost(m.ThroughputMbps(), want, 2) {
+			t.Errorf("%v: %.1f Mbps, paper says %.0f", sem, m.ThroughputMbps(), want)
+		}
+	}
+}
+
+// TestFigure4Utilization checks the regenerated CPU utilizations against
+// the paper's Figure 4 values for 60 KB datagrams, within 3 points.
+func TestFigure4Utilization(t *testing.T) {
+	s := Setup{Scheme: netsim.EarlyDemux}
+	util := make(map[core.Semantics]float64)
+	for _, sem := range core.AllSemantics() {
+		m, err := Measure(s, sem, 61440)
+		if err != nil {
+			t.Fatal(err)
+		}
+		util[sem] = m.Utilization() * 100
+		want := PaperFig4UtilizationPct[sem]
+		if !almost(util[sem], want, 3) {
+			t.Errorf("%v: %.1f%% utilization, paper says %.0f%%", sem, util[sem], want)
+		}
+	}
+	// The qualitative claim: copy leaves much less CPU for applications.
+	for sem, u := range util {
+		if sem == core.Copy {
+			continue
+		}
+		if util[core.Copy] < 1.8*u {
+			t.Errorf("copy utilization %.1f%% not ~2x above %v's %.1f%%", util[core.Copy], sem, u)
+		}
+	}
+}
+
+// TestFigure5Anchors checks the short-datagram anchors the paper quotes.
+func TestFigure5Anchors(t *testing.T) {
+	s := Setup{Scheme: netsim.EarlyDemux}
+	mCopy, err := Measure(s, core.Copy, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(mCopy.LatencyUS, PaperFig5CopyMinUS, 12) {
+		t.Errorf("copy at 64 B: %.0f us, paper says ~%d", mCopy.LatencyUS, PaperFig5CopyMinUS)
+	}
+	mEC, err := Measure(s, core.EmulatedCopy, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(mEC.LatencyUS, PaperFig5EmCopyHalfPageUS, 20) {
+		t.Errorf("emulated copy at half page: %.0f us, paper says ~%d", mEC.LatencyUS, PaperFig5EmCopyHalfPageUS)
+	}
+	mES, err := Measure(s, core.EmulatedShare, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(mES.LatencyUS, PaperFig5EmShareHalfPageUS, 20) {
+		t.Errorf("emulated share at half page: %.0f us, paper says ~%d", mES.LatencyUS, PaperFig5EmShareHalfPageUS)
+	}
+	// Move is by far the worst for short datagrams (page zeroing).
+	mMove, err := Measure(s, core.Move, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mMove.LatencyUS < mCopy.LatencyUS+50 {
+		t.Errorf("move at 64 B (%.0f us) should far exceed copy (%.0f us)", mMove.LatencyUS, mCopy.LatencyUS)
+	}
+}
+
+// TestFigure6And7Throughput checks the pooled-buffering 60 KB
+// throughputs: aligned (Figure 6) and unaligned (Figure 7).
+func TestFigure6And7Throughput(t *testing.T) {
+	aligned := Setup{Scheme: netsim.Pooled}
+	unaligned := Setup{Scheme: netsim.Pooled, AppOffset: 1000}
+	for _, sem := range core.AllSemantics() {
+		m, err := Measure(aligned, sem, 61440)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := PaperFig6ThroughputMbps[sem]; !almost(m.ThroughputMbps(), want, 2.5) {
+			t.Errorf("fig6 %v: %.1f Mbps, paper says %.0f", sem, m.ThroughputMbps(), want)
+		}
+		m, err = Measure(unaligned, sem, 61440)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := PaperFig7ThroughputMbps[sem]; !almost(m.ThroughputMbps(), want, 2.5) {
+			t.Errorf("fig7 %v: %.1f Mbps, paper says %.0f", sem, m.ThroughputMbps(), want)
+		}
+	}
+}
+
+// TestTable6Recovery: the instrumented fits must recover the model's
+// operation costs (and hence the paper's Table 6) essentially exactly,
+// because charges are deterministic and linear.
+func TestTable6Recovery(t *testing.T) {
+	fits, err := fitOps(Setup{}, []int{4096, 16384, 32768, 49152, 61440})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op, pf := range PaperTable6 {
+		fit, ok := fits[op]
+		if !ok {
+			t.Errorf("%v: not observed in sweeps", op)
+			continue
+		}
+		if !almost(fit.Slope, pf.PerByte, 1e-6) || !almost(fit.Intercept, pf.Fixed, 0.05) {
+			t.Errorf("%v: fit %.6f B + %.2f, paper %.6f B + %.0f",
+				op, fit.Slope, fit.Intercept, pf.PerByte, pf.Fixed)
+		}
+	}
+}
+
+// TestTable7AgainstPaper: the regenerated estimated fits must land close
+// to the paper's published estimates for every semantics and scheme.
+func TestTable7AgainstPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 7 regeneration is slow")
+	}
+	lengths := PageSweep(4096)
+	opFits, err := fitOps(Setup{}, lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emShareFit, err := latencyFit(Setup{Scheme: netsim.EarlyDemux}, core.EmulatedShare, lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := emShareFit
+	for _, op := range []cost.Op{cost.Reference, cost.Unreference} {
+		base.Slope -= opFits[op].Slope
+		base.Intercept -= opFits[op].Intercept
+	}
+
+	check := func(sem core.Semantics, scheme netsim.InputBuffering, aligned bool, pf PaperFit, label string) {
+		est := estimateFit(opFits, base, sem, scheme, aligned)
+		if !almost(est.Slope, pf.PerByte, 0.0015) {
+			t.Errorf("%v %s: slope %.4f, paper %.4f", sem, label, est.Slope, pf.PerByte)
+		}
+		if !almost(est.Intercept, pf.Fixed, 16) {
+			t.Errorf("%v %s: intercept %.0f, paper %.0f", sem, label, est.Intercept, pf.Fixed)
+		}
+	}
+	for _, row := range PaperTable7 {
+		sysAligned := row.Sem.SystemAllocated()
+		check(row.Sem, netsim.EarlyDemux, true, row.EarlyE, "early")
+		check(row.Sem, netsim.Pooled, true, row.AlignedE, "aligned pooled")
+		check(row.Sem, netsim.Pooled, sysAligned, row.UnalignedE, "unaligned pooled")
+	}
+
+	// Internal consistency: composed estimates match the measured fits.
+	for _, sem := range core.AllSemantics() {
+		act, err := latencyFit(Setup{Scheme: netsim.EarlyDemux}, sem, lengths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := estimateFit(opFits, base, sem, netsim.EarlyDemux, true)
+		if !almost(act.Slope, est.Slope, 1e-9) || !almost(act.Intercept, est.Intercept, 0.01) {
+			t.Errorf("%v early: actual %v+%v vs estimated %v+%v diverge",
+				sem, act.Slope, act.Intercept, est.Slope, est.Intercept)
+		}
+	}
+}
+
+// TestOC12AgainstPaper checks the scaling-model extrapolation.
+func TestOC12AgainstPaper(t *testing.T) {
+	model := cost.NewModel(cost.MicronP166, cost.CreditNetOC12)
+	s := Setup{Model: model, Scheme: netsim.EarlyDemux}
+	for sem, want := range PaperOC12ThroughputMbps {
+		m, err := Measure(s, sem, 61440)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(m.ThroughputMbps(), want, 10) {
+			t.Errorf("%v at OC-12: %.0f Mbps, paper predicts %.0f", sem, m.ThroughputMbps(), want)
+		}
+	}
+}
+
+// TestTable8Scaling regenerates the scaling summary and checks it against
+// the published geometric means and the estimated bounds.
+func TestTable8Scaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-platform fits are slow")
+	}
+	tbl, err := Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("Table 8 rows = %d, want 8", len(tbl.Rows))
+	}
+	// Row 0: Gateway memory-dominated GM should be ~2.40 (paper 2.43).
+	if !strings.HasPrefix(tbl.Rows[0][1], "memory") {
+		t.Fatalf("row 0 = %v", tbl.Rows[0])
+	}
+	var gm float64
+	if _, err := fmtSscan(tbl.Rows[0][3], &gm); err != nil || !almost(gm, 2.40, 0.1) {
+		t.Errorf("Gateway memory GM = %q, want ~2.40", tbl.Rows[0][3])
+	}
+	// Alpha memory-dominated GM ~1.00 (paper 0.83): row 4.
+	if _, err := fmtSscan(tbl.Rows[4][3], &gm); err != nil || !almost(gm, 1.0, 0.2) {
+		t.Errorf("Alpha memory GM = %q, want ~1.0", tbl.Rows[4][3])
+	}
+	// CPU-dominated rows: GM above the estimated lower bound, ranges wide
+	// for the Alpha.
+	var lo, hi float64
+	if _, err := fmtSscan(tbl.Rows[6][4], &lo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tbl.Rows[6][5], &hi); err != nil {
+		t.Fatal(err)
+	}
+	if hi/lo < 2.5 {
+		t.Errorf("Alpha CPU mult ratios [%v, %v]: variance too small for a foreign architecture", lo, hi)
+	}
+}
+
+// sscan parses a leading float from a rendered table cell.
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", v)
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	return sscan(s, v)
+}
+
+// TestRenderers smoke-tests the table and figure renderers.
+func TestRenderers(t *testing.T) {
+	tbl := Table5()
+	out := tbl.String()
+	if !strings.Contains(out, "Micron P166") || !strings.Contains(out, "AlphaStation") {
+		t.Errorf("Table 5 render missing platforms:\n%s", out)
+	}
+	t1 := Table1()
+	if !strings.Contains(t1.String(), "ATM") {
+		t.Error("Table 1 missing ATM row")
+	}
+	fig, err := sweepFigure(Setup{Scheme: netsim.EarlyDemux}, "F", "test", "us",
+		[]int{4096, 8192}, latencyUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fig.String()
+	if !strings.Contains(r, "4096") || !strings.Contains(r, "emulated copy") {
+		t.Errorf("figure render:\n%s", r)
+	}
+	if fig.FindSeries("copy") == nil || fig.FindSeries("nope") != nil {
+		t.Error("FindSeries broken")
+	}
+	if fig.Series[0].Value(4096) <= 0 || fig.Series[0].Value(999) != 0 {
+		t.Error("Series.Value broken")
+	}
+	if tbl.Cell(0, 0) == "" || tbl.Cell(99, 99) != "" {
+		t.Error("Table.Cell broken")
+	}
+}
+
+// TestAblations smoke-tests every ablation and their headline claims.
+func TestAblations(t *testing.T) {
+	wiring, err := AblationWiring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wiring a single page costs ~35 us (wire 18+4KB*0.00141=24 plus
+	// unwire ~11); the saved column for the 4096-byte share row
+	// reflects it.
+	var saved float64
+	if _, err := sscan(wiring.Cell(0, 4), &saved); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(saved, 35, 6) {
+		t.Errorf("wiring ablation saved %.0f us on first page, paper cites ~35", saved)
+	}
+
+	align, err := AblationAlignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b float64
+	if _, err := sscan(align.Cell(2, 1), &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(align.Cell(2, 2), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b-a < 800 {
+		t.Errorf("alignment ablation: no-alignment penalty %.0f us at 60 KB, expected >800", b-a)
+	}
+
+	th, err := AblationThresholds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 256 bytes, threshold 0 (never convert) must be worse than the
+	// paper's threshold.
+	var noConv, paper float64
+	if _, err := sscan(th.Cell(0, 1), &noConv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(th.Cell(0, 2), &paper); err != nil {
+		t.Fatal(err)
+	}
+	if noConv <= paper {
+		t.Errorf("threshold ablation: no-conversion %.0f <= converted %.0f at 256 B", noConv, paper)
+	}
+
+	rc, err := AblationReverseCopyout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 3800 bytes, never-reverse (always copy) must be worse than the
+	// paper threshold.
+	var always, paperTh, never float64
+	if _, err := sscan(rc.Cell(4, 1), &always); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(rc.Cell(4, 2), &paperTh); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(rc.Cell(4, 3), &never); err != nil {
+		t.Fatal(err)
+	}
+	if never <= paperTh {
+		t.Errorf("reverse-copyout ablation at 3800 B: never %.0f <= threshold %.0f", never, paperTh)
+	}
+	_ = always
+
+	prot, err := AblationOutputProtection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.Cell(0, 3) != "true" || prot.Cell(1, 3) != "true" {
+		t.Error("copy/TCOW output not intact under overwrite")
+	}
+	if prot.Cell(2, 3) != "false" {
+		t.Error("share output unexpectedly intact under overwrite")
+	}
+
+	po, err := AblationPageout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.Cell(2, 3) != "true" {
+		t.Error("pageout ablation corrupted data")
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// TestGeneratorsEndToEnd exercises every figure and table generator the
+// geniebench command uses, checking structural sanity of each artifact.
+func TestGeneratorsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full generator suite is slow")
+	}
+	var s Setup
+
+	figures := []struct {
+		name string
+		gen  func(Setup) (Figure, error)
+	}{
+		{"Figure3", Figure3}, {"Figure4", Figure4}, {"Figure5", Figure5},
+		{"Figure6", Figure6}, {"Figure7", Figure7}, {"Outboard", FigureOutboard},
+	}
+	for _, f := range figures {
+		fig, err := f.gen(s)
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if len(fig.Series) != 8 {
+			t.Errorf("%s: %d series, want 8", f.name, len(fig.Series))
+		}
+		for _, series := range fig.Series {
+			if len(series.Points) == 0 {
+				t.Errorf("%s/%s: empty series", f.name, series.Label)
+			}
+			for _, p := range series.Points {
+				if p.Value <= 0 {
+					t.Errorf("%s/%s: nonpositive value at %d bytes", f.name, series.Label, p.Bytes)
+				}
+			}
+		}
+		if !strings.Contains(fig.String(), "emulated copy") {
+			t.Errorf("%s: render missing series", f.name)
+		}
+	}
+
+	thr, err := Figure3Throughput(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thr.Rows) != 8 {
+		t.Errorf("throughput rows = %d", len(thr.Rows))
+	}
+
+	t6, err := Table6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) < 20 {
+		t.Errorf("Table 6 rows = %d, want >= 20 ops", len(t6.Rows))
+	}
+	// Every row with a paper value matches it textually after rounding.
+	matches := 0
+	for _, row := range t6.Rows {
+		if row[2] != "" && row[1] == row[2] {
+			matches++
+		}
+	}
+	if matches < 18 {
+		t.Errorf("only %d Table 6 rows match the paper exactly", matches)
+	}
+
+	t7, err := Table7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Rows) != 16 {
+		t.Errorf("Table 7 rows = %d, want 16 (E and A per semantics)", len(t7.Rows))
+	}
+
+	oc12, err := TableOC12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oc12.Rows) != 8 {
+		t.Errorf("OC-12 rows = %d", len(oc12.Rows))
+	}
+
+	tp, err := TableThroughput(cost.CreditNetOC3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tp.Rows {
+		if row[5] != "wire" {
+			t.Errorf("OC-3 streaming: %s bottleneck %q, want wire", row[0], row[5])
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 7 and 8) from the simulated testbed: end-to-end
+// latency sweeps (Figures 3, 5, 6, 7), CPU utilization (Figure 4),
+// primitive-operation cost fits (Table 6), the breakdown model versus
+// measured latencies (Table 7), cross-platform scaling (Table 8), and
+// the OC-12 extrapolation, plus ablations of Genie's design choices.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/netsim"
+	"repro/internal/vm"
+)
+
+// Setup fixes the experimental configuration for one measurement run.
+type Setup struct {
+	Model *cost.Model
+	// Scheme is the receiver's device input buffering architecture.
+	Scheme netsim.InputBuffering
+	// DevOff is the device payload placement offset (pooled buffering).
+	DevOff int
+	// AppOffset is where the receiving application places its buffer
+	// within a page. Buffers are aligned to the device (swapping
+	// possible) when AppOffset == DevOff modulo the page size —
+	// application input alignment is AppOffset = the queried preferred
+	// offset; anything else forces copyout on the receive side.
+	AppOffset int
+	// Genie overrides framework tunables (zero value: paper defaults).
+	Genie core.Config
+	// Instrument records primitive-operation latencies for Table 6.
+	Instrument bool
+}
+
+func (s Setup) model() *cost.Model {
+	if s.Model == nil {
+		return cost.Baseline()
+	}
+	return s.Model
+}
+
+// Measurement is the outcome of one datagram transfer.
+type Measurement struct {
+	Sem       core.Semantics
+	Bytes     int
+	LatencyUS float64 // end-to-end latency
+	RxCPUUS   float64 // receiver CPU busy time for the datagram
+	TxCPUUS   float64 // sender CPU busy time
+	Records   []core.OpRecord
+}
+
+// Utilization is the receiver CPU utilization during the latency test,
+// as the paper measured by instrumenting the scheduler idle loop.
+func (m Measurement) Utilization() float64 {
+	if m.LatencyUS <= 0 {
+		return 0
+	}
+	return m.RxCPUUS / m.LatencyUS
+}
+
+// ThroughputMbps is the single-datagram equivalent throughput.
+func (m Measurement) ThroughputMbps() float64 {
+	if m.LatencyUS <= 0 {
+		return 0
+	}
+	return float64(m.Bytes) * 8 / m.LatencyUS
+}
+
+// Measure performs one transfer of length bytes under sem on a fresh
+// testbed and returns the measurement. Each point uses its own testbed,
+// which makes sweeps deterministic and independent, like the paper's
+// per-length runs on a quiet network.
+func Measure(s Setup, sem core.Semantics, length int) (Measurement, error) {
+	tb, err := core.NewTestbed(core.TestbedConfig{
+		Model:      s.model(),
+		Buffering:  s.Scheme,
+		OverlayOff: s.DevOff,
+		Genie:      s.Genie,
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	if s.Instrument {
+		tb.A.Genie.Instr().Enabled = true
+		tb.B.Genie.Instr().Enabled = true
+	}
+	sender := tb.A.Genie.NewProcess()
+	receiver := tb.B.Genie.NewProcess()
+	ps := tb.Model.Platform.PageSize
+
+	payload := make([]byte, length)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	var srcVA, dstVA vm.Addr
+	if sem.SystemAllocated() {
+		r, err := sender.AllocIOBuffer(length)
+		if err != nil {
+			return Measurement{}, err
+		}
+		srcVA = r.Start()
+	} else {
+		base, err := sender.Brk(length + 2*ps)
+		if err != nil {
+			return Measurement{}, err
+		}
+		srcVA = base
+		dbase, err := receiver.Brk(length + 2*ps)
+		if err != nil {
+			return Measurement{}, err
+		}
+		dstVA = dbase + vm.Addr(s.AppOffset%ps)
+	}
+	if err := sender.Write(srcVA, payload); err != nil {
+		return Measurement{}, err
+	}
+
+	out, in, err := tb.Transfer(sender, receiver, 1, sem, srcVA, dstVA, length)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("experiments: %v %dB: %w", sem, length, err)
+	}
+	// Verify delivery: a latency number for a broken transfer is noise.
+	got := make([]byte, in.N)
+	if err := receiver.Read(in.Addr, got); err != nil {
+		return Measurement{}, err
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			return Measurement{}, fmt.Errorf("experiments: %v %dB: corrupt byte %d", sem, length, i)
+		}
+	}
+
+	m := Measurement{
+		Sem:       sem,
+		Bytes:     length,
+		LatencyUS: in.CompletedAt.Sub(out.StartedAt).Micros(),
+		RxCPUUS:   in.ReceiverCPU,
+		TxCPUUS:   out.SenderCPU,
+	}
+	if s.Instrument {
+		m.Records = append(m.Records, tb.A.Genie.Instr().Records()...)
+		m.Records = append(m.Records, tb.B.Genie.Instr().Records()...)
+	}
+	return m, nil
+}
+
+// PageSweep returns the paper's page-multiple datagram lengths, 4 KB to
+// 60 KB (the largest multiple AAL5 allows).
+func PageSweep(pageSize int) []int {
+	var out []int
+	for b := pageSize; b <= cost.MaxAAL5Datagram; b += pageSize {
+		out = append(out, b)
+	}
+	return out
+}
+
+// ShortSweep returns the short-datagram lengths of Figure 5.
+func ShortSweep() []int {
+	return []int{64, 128, 256, 512, 768, 1024, 1280, 1536, 1792, 2048,
+		2304, 2560, 3072, 3584, 4096, 5120, 6144, 7168, 8192}
+}
+
+// Sweep measures one semantics across the given lengths.
+func Sweep(s Setup, sem core.Semantics, lengths []int) ([]Measurement, error) {
+	out := make([]Measurement, 0, len(lengths))
+	for _, b := range lengths {
+		m, err := Measure(s, sem, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

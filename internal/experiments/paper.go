@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// This file embeds the numbers the paper reports, as comparison baselines
+// for EXPERIMENTS.md and the geniebench tool. None of these values feed
+// the simulation — they are only printed next to measured results.
+
+// PaperFig3ThroughputMbps is the equivalent throughput for single 60 KB
+// datagrams with early demultiplexing (Section 7, Figure 3 discussion).
+var PaperFig3ThroughputMbps = map[core.Semantics]float64{
+	core.Copy:             78,
+	core.Move:             121,
+	core.Share:            124,
+	core.EmulatedCopy:     124,
+	core.WeakMove:         124,
+	core.EmulatedMove:     126,
+	core.EmulatedWeakMove: 128,
+	core.EmulatedShare:    129,
+}
+
+// PaperFig4UtilizationPct is the CPU utilization for 60 KB datagrams
+// (Section 7, Figure 4 discussion).
+var PaperFig4UtilizationPct = map[core.Semantics]float64{
+	core.Copy:             26,
+	core.Move:             12,
+	core.WeakMove:         12,
+	core.Share:            12,
+	core.EmulatedCopy:     10,
+	core.EmulatedMove:     10,
+	core.EmulatedWeakMove: 9,
+	core.EmulatedShare:    8,
+}
+
+// PaperFig6ThroughputMbps is the 60 KB equivalent throughput with
+// application-aligned pooled buffering (Figure 6 discussion).
+var PaperFig6ThroughputMbps = map[core.Semantics]float64{
+	core.Copy:             77,
+	core.Share:            120,
+	core.Move:             120,
+	core.WeakMove:         120,
+	core.EmulatedMove:     123,
+	core.EmulatedCopy:     123,
+	core.EmulatedWeakMove: 123,
+	core.EmulatedShare:    124,
+}
+
+// PaperFig7ThroughputMbps is the 60 KB equivalent throughput with
+// unaligned pooled buffering (Figure 7 discussion): system-allocated
+// ~121, other application-allocated ~92, copy 77.
+var PaperFig7ThroughputMbps = map[core.Semantics]float64{
+	core.Copy:             77,
+	core.EmulatedCopy:     92,
+	core.Share:            92,
+	core.EmulatedShare:    92,
+	core.Move:             121,
+	core.EmulatedMove:     121,
+	core.WeakMove:         121,
+	core.EmulatedWeakMove: 121,
+}
+
+// PaperOC12ThroughputMbps is the Section 8 scaling-model prediction for
+// single 60 KB datagrams at OC-12 on the Micron P166.
+var PaperOC12ThroughputMbps = map[core.Semantics]float64{
+	core.Copy:          140,
+	core.EmulatedCopy:  404,
+	core.EmulatedShare: 463,
+	core.Move:          380,
+}
+
+// PaperFit is a published aB+b fit (microseconds, B in bytes).
+type PaperFit struct {
+	PerByte float64
+	Fixed   float64
+}
+
+// PaperTable7 holds the paper's Table 7: estimated (E) and actual (A)
+// end-to-end latency fits per semantics and input buffering scheme.
+type PaperTable7Row struct {
+	Sem                    core.Semantics
+	EarlyE, EarlyA         PaperFit
+	AlignedE, AlignedA     PaperFit
+	UnalignedE, UnalignedA PaperFit
+}
+
+// PaperTable7 reproduces the published Table 7 rows.
+var PaperTable7 = []PaperTable7Row{
+	{core.Copy,
+		PaperFit{0.0997, 141}, PaperFit{0.0998, 125},
+		PaperFit{0.100, 166}, PaperFit{0.101, 139},
+		PaperFit{0.100, 166}, PaperFit{0.101, 144}},
+	{core.EmulatedCopy,
+		PaperFit{0.0621, 153}, PaperFit{0.0622, 150},
+		PaperFit{0.0625, 178}, PaperFit{0.0622, 175},
+		PaperFit{0.0828, 177}, PaperFit{0.0848, 195}},
+	{core.Share,
+		PaperFit{0.0619, 165}, PaperFit{0.0621, 162},
+		PaperFit{0.0637, 204}, PaperFit{0.0638, 197},
+		PaperFit{0.0841, 203}, PaperFit{0.0846, 219}},
+	{core.EmulatedShare,
+		PaperFit{0.0602, 137}, PaperFit{0.0600, 137},
+		PaperFit{0.0621, 175}, PaperFit{0.0619, 167},
+		PaperFit{0.0825, 175}, PaperFit{0.0824, 178}},
+	{core.Move,
+		PaperFit{0.0628, 197}, PaperFit{0.0626, 202},
+		PaperFit{0.0634, 224}, PaperFit{0.0631, 234},
+		PaperFit{0.0634, 224}, PaperFit{0.0631, 234}},
+	{core.EmulatedMove,
+		PaperFit{0.0610, 151}, PaperFit{0.0609, 150},
+		PaperFit{0.0625, 185}, PaperFit{0.0623, 183},
+		PaperFit{0.0625, 185}, PaperFit{0.0623, 183}},
+	{core.WeakMove,
+		PaperFit{0.0620, 173}, PaperFit{0.0615, 170},
+		PaperFit{0.0637, 212}, PaperFit{0.0633, 206},
+		PaperFit{0.0637, 212}, PaperFit{0.0633, 206}},
+	{core.EmulatedWeakMove,
+		PaperFit{0.0603, 144}, PaperFit{0.0602, 143},
+		PaperFit{0.0621, 183}, PaperFit{0.0619, 184},
+		PaperFit{0.0621, 183}, PaperFit{0.0619, 184}},
+}
+
+// PaperTable6 holds the published primitive-operation fits (Table 6).
+var PaperTable6 = map[cost.Op]PaperFit{
+	cost.Copyin:                          {0.0180, -3},
+	cost.Copyout:                         {0.0220, 15},
+	cost.Reference:                       {0.000363, 5},
+	cost.Unreference:                     {0.000100, 2},
+	cost.Wire:                            {0.00141, 18},
+	cost.Unwire:                          {0.000237, 10},
+	cost.ReadOnly:                        {0.000367, 2},
+	cost.Invalidate:                      {0.000373, 2},
+	cost.Swap:                            {0.00163, 15},
+	cost.RegionCreate:                    {0, 24},
+	cost.RegionFill:                      {0.000398, 9},
+	cost.RegionFillOverlayRefill:         {0.000716, 11},
+	cost.RegionMap:                       {0.000474, 6},
+	cost.RegionMarkOut:                   {0, 3},
+	cost.RegionMarkIn:                    {0, 1},
+	cost.RegionCheck:                     {0, 5},
+	cost.RegionCheckUnrefReinstateMarkIn: {0.000507, 11},
+	cost.RegionCheckUnrefMarkIn:          {0.000194, 6},
+	cost.OverlayAllocate:                 {0, 7},
+	cost.Overlay:                         {0, 7},
+	cost.OverlayDeallocate:               {0.000344, 12},
+}
+
+// PaperTable8 summarizes the published cross-platform scaling ratios
+// (Table 8): estimated bounds and the measured geometric mean/min/max.
+type PaperTable8Entry struct {
+	Platform    string
+	MemGM       float64
+	CacheGM     float64
+	CPUMultGM   float64
+	CPUMultMin  float64
+	CPUMultMax  float64
+	CPUFixedGM  float64
+	CPUFixedMin float64
+	CPUFixedMax float64
+}
+
+// PaperTable8Entries reproduces the published Table 8 summary rows.
+var PaperTable8Entries = []PaperTable8Entry{
+	{"Gateway P5-90", 2.43, 2.46, 1.79, 1.58, 1.92, 1.83, 1.53, 2.59},
+	{"AlphaStation 255/233", 0.83, 0.54, 1.64, 0.75, 3.77, 1.54, 0.47, 3.74},
+}
+
+// PaperFig5 reference points (Figure 5 discussion): copy's minimum
+// latency and the half-page comparison.
+const (
+	PaperFig5CopyMinUS         = 145
+	PaperFig5EmCopyHalfPageUS  = 325
+	PaperFig5EmShareHalfPageUS = 254
+)

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Point is one (length, value) sample of a figure series.
+type Point struct {
+	Bytes int
+	Value float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Value returns the series value at the given length (0 if absent).
+func (s Series) Value(bytes int) float64 {
+	for _, p := range s.Points {
+		if p.Bytes == bytes {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// Figure is a reproduced paper figure: one or more series over datagram
+// length.
+type Figure struct {
+	ID     string
+	Title  string
+	YLabel string
+	Series []Series
+}
+
+// Render writes the figure as aligned data columns.
+func (f Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "%-8s", "bytes")
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %18s", s.Label)
+	}
+	fmt.Fprintf(w, "   (%s)\n", f.YLabel)
+	if len(f.Series) == 0 {
+		return
+	}
+	for i, p := range f.Series[0].Points {
+		fmt.Fprintf(w, "%-8d", p.Bytes)
+		for _, s := range f.Series {
+			fmt.Fprintf(w, " %18.1f", s.Points[i].Value)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (f Figure) String() string {
+	var b strings.Builder
+	f.Render(&b)
+	return b.String()
+}
+
+// FindSeries returns the series with the given label, or nil.
+func (f Figure) FindSeries(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// CSV writes the figure as comma-separated values: a header row of
+// series labels, then one row per length.
+func (f Figure) CSV(w io.Writer) {
+	fmt.Fprint(w, "bytes")
+	for _, s := range f.Series {
+		fmt.Fprintf(w, ",%s", csvEscape(s.Label))
+	}
+	fmt.Fprintln(w)
+	if len(f.Series) == 0 {
+		return
+	}
+	for i, p := range f.Series[0].Points {
+		fmt.Fprintf(w, "%d", p.Bytes)
+		for _, s := range f.Series {
+			fmt.Fprintf(w, ",%g", s.Points[i].Value)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// csvEscape quotes a cell when needed.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Table is a reproduced paper table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table with aligned columns.
+func (t Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", max(total-2, 4)))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func (t Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values.
+func (t Table) CSV(w io.Writer) {
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, csvEscape(c))
+		}
+		fmt.Fprintln(w)
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
+// Cell returns the cell at (row, col), or "" out of range.
+func (t Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Rows[row]) {
+		return ""
+	}
+	return t.Rows[row][col]
+}

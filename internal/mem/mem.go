@@ -1,0 +1,314 @@
+// Package mem simulates the physical memory of a machine: a fixed set of
+// page frames managed through a free list.
+//
+// It implements the safety mechanism at the heart of Genie's in-place I/O
+// (Brustoloni & Steenkiste, OSDI '96, Section 3.1): every frame carries
+// counts of input and output references held by in-flight I/O operations,
+// and page deallocation is deferred while either count is nonzero
+// (I/O-deferred page deallocation). A frame released during I/O is only
+// returned to the free list when its last reference is dropped, so it can
+// never be reallocated to another process while a device is still reading
+// from or writing into it.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned by Alloc when no free frames remain.
+var ErrOutOfMemory = errors.New("mem: out of physical memory")
+
+// FrameID identifies a physical page frame.
+type FrameID int
+
+// Frame is one physical page frame.
+//
+// A frame is in exactly one of three states:
+//   - free: on the free list, available for allocation;
+//   - attached: allocated and owned by a memory object;
+//   - pending free: detached from its owner while I/O references were
+//     still outstanding; it joins the free list when the last reference
+//     is dropped.
+type Frame struct {
+	id   FrameID
+	data []byte
+
+	inRefs  int // references held by in-flight input operations
+	outRefs int // references held by in-flight output operations
+	wired   int // wire counts (traditional pageout protection)
+
+	free     bool
+	attached bool // currently owned by a memory object
+}
+
+// ID returns the frame's identifier.
+func (f *Frame) ID() FrameID { return f.id }
+
+// Data returns the frame's backing bytes. The slice aliases the frame:
+// writes through it model DMA or CPU stores into physical memory.
+func (f *Frame) Data() []byte { return f.data }
+
+// InRefs returns the number of outstanding input references.
+func (f *Frame) InRefs() int { return f.inRefs }
+
+// OutRefs returns the number of outstanding output references.
+func (f *Frame) OutRefs() int { return f.outRefs }
+
+// Wired reports whether the frame is wired against pageout.
+func (f *Frame) Wired() bool { return f.wired > 0 }
+
+// WireCount returns the number of outstanding wires.
+func (f *Frame) WireCount() int { return f.wired }
+
+// Free reports whether the frame is on the free list.
+func (f *Frame) Free() bool { return f.free }
+
+// Attached reports whether the frame is owned by a memory object.
+func (f *Frame) Attached() bool { return f.attached }
+
+// PendingFree reports whether the frame has been released but is kept off
+// the free list by outstanding I/O references.
+func (f *Frame) PendingFree() bool { return !f.free && !f.attached }
+
+// Referenced reports whether any I/O references are outstanding.
+func (f *Frame) Referenced() bool { return f.inRefs > 0 || f.outRefs > 0 }
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("frame %d (in=%d out=%d wired=%d free=%t attached=%t)",
+		f.id, f.inRefs, f.outRefs, f.wired, f.free, f.attached)
+}
+
+// Stats counts physical memory events since the PhysMem was created.
+type Stats struct {
+	Allocs        uint64 // successful frame allocations
+	Frees         uint64 // frames returned to the free list
+	DeferredFrees uint64 // deallocations deferred by I/O references
+	FailedAllocs  uint64 // allocations that hit ErrOutOfMemory
+	Zeroed        uint64 // frames zeroed at allocation
+	ReclaimRuns   uint64 // reclaimer invocations on exhaustion
+}
+
+// PhysMem is a simulated bank of physical memory.
+type PhysMem struct {
+	pageSize  int
+	frames    []Frame
+	freeList  []FrameID // LIFO
+	reclaimer func(need int) int
+	stats     Stats
+}
+
+// New creates a physical memory of numFrames frames of pageSize bytes
+// each. It panics if either argument is nonpositive, mirroring the fact
+// that a machine without memory cannot boot.
+func New(numFrames, pageSize int) *PhysMem {
+	if numFrames <= 0 || pageSize <= 0 {
+		panic(fmt.Sprintf("mem.New(%d, %d): nonpositive size", numFrames, pageSize))
+	}
+	pm := &PhysMem{
+		pageSize: pageSize,
+		frames:   make([]Frame, numFrames),
+		freeList: make([]FrameID, 0, numFrames),
+	}
+	backing := make([]byte, numFrames*pageSize)
+	for i := range pm.frames {
+		f := &pm.frames[i]
+		f.id = FrameID(i)
+		f.data = backing[i*pageSize : (i+1)*pageSize : (i+1)*pageSize]
+		f.free = true
+	}
+	// Push in reverse so frame 0 is allocated first; purely cosmetic but
+	// keeps traces readable.
+	for i := numFrames - 1; i >= 0; i-- {
+		pm.freeList = append(pm.freeList, FrameID(i))
+	}
+	return pm
+}
+
+// PageSize returns the frame size in bytes.
+func (pm *PhysMem) PageSize() int { return pm.pageSize }
+
+// NumFrames returns the total number of frames.
+func (pm *PhysMem) NumFrames() int { return len(pm.frames) }
+
+// FreeFrames returns the number of frames currently on the free list.
+func (pm *PhysMem) FreeFrames() int { return len(pm.freeList) }
+
+// Stats returns a snapshot of allocation statistics.
+func (pm *PhysMem) Stats() Stats { return pm.stats }
+
+// Frame returns the frame with the given id. It panics on an invalid id;
+// frame ids only originate from this PhysMem, so an invalid id is memory
+// corruption in the simulation itself.
+func (pm *PhysMem) Frame(id FrameID) *Frame {
+	if int(id) < 0 || int(id) >= len(pm.frames) {
+		panic(fmt.Sprintf("mem: invalid frame id %d", id))
+	}
+	return &pm.frames[id]
+}
+
+// SetReclaimer installs a callback invoked when Alloc finds the free
+// list empty, before failing — the hook through which the pageout
+// daemon provides demand paging. The callback reports how many frames
+// it reclaimed.
+func (pm *PhysMem) SetReclaimer(fn func(need int) int) { pm.reclaimer = fn }
+
+// Alloc removes a frame from the free list and attaches it. The frame's
+// contents are whatever the previous owner left there — exactly the
+// property that makes I/O-deferred deallocation necessary for safety.
+func (pm *PhysMem) Alloc() (*Frame, error) {
+	if len(pm.freeList) == 0 && pm.reclaimer != nil {
+		pm.stats.ReclaimRuns++
+		fn := pm.reclaimer
+		pm.reclaimer = nil // guard against reentrant reclaim
+		fn(1)
+		pm.reclaimer = fn
+	}
+	n := len(pm.freeList)
+	if n == 0 {
+		pm.stats.FailedAllocs++
+		return nil, ErrOutOfMemory
+	}
+	id := pm.freeList[n-1]
+	pm.freeList = pm.freeList[:n-1]
+	f := &pm.frames[id]
+	f.free = false
+	f.attached = true
+	pm.stats.Allocs++
+	return f, nil
+}
+
+// AllocZeroed is Alloc followed by clearing the frame contents, as a
+// kernel must do before mapping a fresh page to user space.
+func (pm *PhysMem) AllocZeroed() (*Frame, error) {
+	f, err := pm.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	clear(f.data)
+	pm.stats.Zeroed++
+	return f, nil
+}
+
+// Release detaches the frame from its owner (the system page deallocation
+// routine). If the frame has no outstanding I/O references it joins the
+// free list immediately; otherwise the free is deferred until the last
+// reference is dropped (I/O-deferred page deallocation, Section 3.1).
+func (pm *PhysMem) Release(f *Frame) {
+	if f.free {
+		panic(fmt.Sprintf("mem: double free of %v", f))
+	}
+	f.attached = false
+	f.wired = 0
+	if f.Referenced() {
+		pm.stats.DeferredFrees++
+		return
+	}
+	pm.pushFree(f)
+}
+
+func (pm *PhysMem) pushFree(f *Frame) {
+	f.free = true
+	pm.freeList = append(pm.freeList, f.id)
+	pm.stats.Frees++
+}
+
+// Reattach rescues a pending-free frame back into the attached state.
+// Genie uses this when an application removes a region mid-input: the
+// in-flight pages must be re-homed into a fresh memory object so the
+// input's result location remains valid (Section 6.2.1).
+func (pm *PhysMem) Reattach(f *Frame) {
+	if !f.PendingFree() {
+		panic(fmt.Sprintf("mem: Reattach of %v (not pending free)", f))
+	}
+	f.attached = true
+}
+
+// RefInput adds an input reference, pinning the frame against deallocation
+// and (via the pageout daemon's input-disabled check) against pageout.
+// Referencing a free frame is a kernel bug in the simulation and panics.
+func (pm *PhysMem) RefInput(f *Frame) {
+	if f.free {
+		panic(fmt.Sprintf("mem: input reference to free %v", f))
+	}
+	f.inRefs++
+}
+
+// RefOutput adds an output reference.
+func (pm *PhysMem) RefOutput(f *Frame) {
+	if f.free {
+		panic(fmt.Sprintf("mem: output reference to free %v", f))
+	}
+	f.outRefs++
+}
+
+// UnrefInput drops an input reference. If it was the last reference and
+// the frame was released during I/O, the deferred free completes now.
+func (pm *PhysMem) UnrefInput(f *Frame) {
+	if f.inRefs <= 0 {
+		panic(fmt.Sprintf("mem: input unreference underflow on %v", f))
+	}
+	f.inRefs--
+	pm.maybeCompleteDeferredFree(f)
+}
+
+// UnrefOutput drops an output reference, completing any deferred free.
+func (pm *PhysMem) UnrefOutput(f *Frame) {
+	if f.outRefs <= 0 {
+		panic(fmt.Sprintf("mem: output unreference underflow on %v", f))
+	}
+	f.outRefs--
+	pm.maybeCompleteDeferredFree(f)
+}
+
+func (pm *PhysMem) maybeCompleteDeferredFree(f *Frame) {
+	if !f.Referenced() && !f.attached && !f.free {
+		pm.pushFree(f)
+	}
+}
+
+// Wire pins the frame against pageout in the traditional sense used by
+// the non-emulated share/move/weak-move semantics.
+func (pm *PhysMem) Wire(f *Frame) {
+	if f.free {
+		panic(fmt.Sprintf("mem: wiring free %v", f))
+	}
+	f.wired++
+}
+
+// Unwire releases one wire.
+func (pm *PhysMem) Unwire(f *Frame) {
+	if f.wired <= 0 {
+		panic(fmt.Sprintf("mem: unwire underflow on %v", f))
+	}
+	f.wired--
+}
+
+// CheckInvariants verifies the global frame-state invariants and returns
+// an error describing the first violation. Tests call it after every
+// operation sequence.
+func (pm *PhysMem) CheckInvariants() error {
+	onFree := make(map[FrameID]bool, len(pm.freeList))
+	for _, id := range pm.freeList {
+		if onFree[id] {
+			return fmt.Errorf("frame %d appears twice on free list", id)
+		}
+		onFree[id] = true
+	}
+	for i := range pm.frames {
+		f := &pm.frames[i]
+		if f.free != onFree[f.id] {
+			return fmt.Errorf("%v: free flag disagrees with free list", f)
+		}
+		if f.free && f.attached {
+			return fmt.Errorf("%v: free frame still attached", f)
+		}
+		if f.free && f.Referenced() {
+			return fmt.Errorf("%v: free frame has I/O references", f)
+		}
+		if f.inRefs < 0 || f.outRefs < 0 || f.wired < 0 {
+			return fmt.Errorf("%v: negative count", f)
+		}
+	}
+	return nil
+}

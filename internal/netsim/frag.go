@@ -1,0 +1,201 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Fragmentation support: with a nonzero MTU, Transmit splits a datagram
+// into MTU-sized packets, each carrying (offset, last) reassembly
+// metadata, like IP over an AAL5 virtual circuit. Fragments of one
+// datagram are sent back to back on the link; the paper's companion work
+// ("Copy Emulation in Checksummed, Multiple-Packet Communication")
+// studies exactly this multiple-packet regime.
+//
+// Reassembly follows the receiving NIC's input architecture:
+//
+//   - early demultiplexed: each fragment DMAs into the posted buffer at
+//     its datagram offset — no reassembly buffer exists at all, which is
+//     the architectural point of early demultiplexing;
+//   - pooled: overlay pages for the whole datagram are taken on the
+//     first fragment and fragments land at their offsets;
+//   - outboard: the adapter stages the datagram and appends fragments.
+//
+// The frame is delivered to the host exactly once, when the last
+// fragment arrives. Per-fragment trailer and cell-padding overhead adds
+// one cell time of wire occupancy per extra fragment.
+
+// fragment is one on-the-wire packet of a (possibly fragmented) datagram.
+type fragment struct {
+	port  int
+	off   int  // byte offset within the datagram
+	total int  // datagram length (known to AAL5 receivers at end of frame)
+	last  bool // end-of-datagram marker (AAL5 user-to-user bit)
+	data  []byte
+}
+
+// reassembly tracks one in-progress datagram per port.
+type reassembly struct {
+	received int
+	// Placement chosen on the first fragment:
+	target   DMATarget    // early demux
+	overlay  []*mem.Frame // pooled
+	outboard *OutboardBuffer
+}
+
+// TransmitDatagram serializes a datagram, fragmenting at the NIC's MTU
+// if one is configured. onSent fires when the last fragment has left.
+// With MTU == 0 it is identical to Transmit.
+func (n *NIC) TransmitDatagram(port int, payload []byte, onSent func()) error {
+	if n.mtu <= 0 || len(payload) <= n.mtu {
+		return n.Transmit(port, payload, onSent)
+	}
+	if n.link == nil {
+		return ErrNotAttached
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	n.stats.TxFrames++
+	n.stats.TxBytes += uint64(len(payload))
+	payload = n.applyFault(payload)
+
+	start := n.eng.Now().Max(n.busyUntil)
+	peer := n.peer
+	total := len(payload)
+	cellTime := n.link.perByteUS * 48 // per-fragment trailer/padding tax
+
+	off := 0
+	for off < total {
+		end := min(off+n.mtu, total)
+		frag := fragment{
+			port: port, off: off, total: total, last: end == total,
+			data: payload[off:end],
+		}
+		wire := n.link.perByteUS * float64(len(frag.data))
+		if off > 0 {
+			wire += cellTime
+		}
+		start = start.Add(sim.Duration(wire))
+		deliver := start.Add(sim.Duration(n.link.fixedUS))
+		if frag.last {
+			if onSent != nil {
+				n.eng.ScheduleAt(start, onSent)
+			}
+		}
+		n.eng.ScheduleAt(deliver, func() { peer.receiveFragment(frag) })
+		off = end
+	}
+	n.busyUntil = start
+	return nil
+}
+
+// receiveFragment places one fragment according to the input
+// architecture and delivers the datagram on the last fragment.
+func (n *NIC) receiveFragment(f fragment) {
+	r := n.reasm[f.port]
+	if r == nil {
+		r = &reassembly{}
+		n.reasm[f.port] = r
+		// Choose placement once, on the first fragment.
+		switch n.buffering {
+		case EarlyDemux:
+			if q := n.posted[f.port]; len(q) > 0 {
+				r.target = q[0].target
+				n.posted[f.port] = q[1:]
+			} else if n.pool == nil {
+				// No location information and no fallback pool: the
+				// datagram cannot be placed; drop all its fragments.
+				r.target = nil
+			}
+			if r.target == nil && n.pool != nil {
+				frames, err := n.pool.Get(n.pool.PagesFor(n.overlayOff + f.total))
+				if err != nil {
+					n.stats.PoolFailures++
+				} else {
+					r.overlay = frames
+				}
+			}
+		case Pooled:
+			frames, err := n.pool.Get(n.pool.PagesFor(n.overlayOff + f.total))
+			if err != nil {
+				n.stats.PoolFailures++
+			} else {
+				r.overlay = frames
+			}
+		case OutboardBuffering:
+			buf, err := n.outboard.Alloc(f.total)
+			if err == nil {
+				r.outboard = buf
+			}
+		}
+	}
+
+	placed := true
+	switch {
+	case r.target != nil:
+		limit := r.target.Len()
+		if f.off < limit {
+			end := min(f.off+len(f.data), limit)
+			r.target.DMAWrite(f.off, f.data[:end-f.off])
+		}
+	case r.overlay != nil:
+		writeToFramesAt(r.overlay, n.overlayOff+f.off, f.data)
+	case r.outboard != nil:
+		copy(r.outboard.data[f.off:], f.data)
+	default:
+		placed = false
+	}
+	r.received += len(f.data)
+
+	if !f.last {
+		return
+	}
+	delete(n.reasm, f.port)
+	n.stats.RxFrames++
+	n.stats.RxBytes += uint64(f.total)
+	if !placed || n.rx == nil {
+		n.stats.Dropped++
+		if r.overlay != nil {
+			n.pool.Put(r.overlay...)
+		}
+		if r.outboard != nil {
+			r.outboard.Free()
+		}
+		return
+	}
+	pkt := Packet{Port: f.port, Length: f.total, Arrival: n.eng.Now()}
+	switch {
+	case r.target != nil:
+		pkt.Direct = true
+		pkt.Target = r.target
+		pkt.Length = min(f.total, r.target.Len())
+	case r.overlay != nil:
+		pkt.Overlay = r.overlay
+		pkt.OverlayOff = n.overlayOff
+	case r.outboard != nil:
+		pkt.Outboard = r.outboard
+	}
+	n.rx(pkt)
+}
+
+// writeToFramesAt scatters data into page frames starting at a byte
+// offset from the beginning of the frame list.
+func writeToFramesAt(frames []*mem.Frame, off int, data []byte) {
+	if len(frames) == 0 {
+		return
+	}
+	ps := len(frames[0].Data())
+	for len(data) > 0 {
+		fi := off / ps
+		fo := off % ps
+		if fi >= len(frames) {
+			panic(fmt.Sprintf("netsim: fragment overruns overlay by %d bytes", len(data)))
+		}
+		n := copy(frames[fi].Data()[fo:], data)
+		data = data[n:]
+		off += n
+	}
+}

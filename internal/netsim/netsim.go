@@ -1,0 +1,359 @@
+// Package netsim simulates the Credit Net ATM network and its host
+// adapters (Brustoloni & Steenkiste, OSDI '96, Sections 6.2 and 7).
+//
+// A Link connects two NICs point to point and delivers AAL5 frames after
+// a transmission delay on the simulated clock. Each NIC implements one
+// of the paper's three device input-buffering architectures:
+//
+//   - early demultiplexed: the controller keeps a separate list of
+//     preposted input buffers per port and DMAs arriving data directly
+//     into the right buffer (cut-through);
+//   - pooled in-host: the controller allocates fixed-size overlay pages
+//     from a private pool, without regard to the receiving request
+//     (cut-through);
+//   - outboard: the controller stages arriving data in its own memory
+//     and DMAs it into host buffers after input completes
+//     (store-and-forward).
+//
+// Data movement is real: payload bytes travel from the sender's
+// referenced pages into the receiver's frames, so higher layers can
+// verify integrity end to end.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// InputBuffering selects the adapter's input architecture.
+type InputBuffering int
+
+// Input buffering architectures (Section 6.2).
+const (
+	EarlyDemux InputBuffering = iota
+	Pooled
+	OutboardBuffering
+)
+
+var bufferingNames = [...]string{"early-demultiplexed", "pooled in-host", "outboard"}
+
+func (b InputBuffering) String() string {
+	if int(b) < len(bufferingNames) {
+		return bufferingNames[b]
+	}
+	return "InputBuffering?"
+}
+
+// MaxFrame is the largest AAL5 frame payload the simulated adapters
+// accept (the AAL5 limit is 64 KB minus trailer; the paper sweeps to the
+// largest page multiple, 60 KB).
+const MaxFrame = 65535
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("netsim: frame exceeds AAL5 limit")
+	ErrPoolDepleted  = errors.New("netsim: overlay pool depleted")
+	ErrOutboardFull  = errors.New("netsim: outboard memory full")
+	ErrNotAttached   = errors.New("netsim: NIC not attached to a link")
+)
+
+// DMATarget is anything the adapter can DMA arriving data into: an
+// in-place application buffer reference (vm.IORef), or a kernel system
+// buffer. DMA bypasses page tables and protections by definition.
+type DMATarget interface {
+	// DMAWrite stores data at byte offset off within the target.
+	DMAWrite(off int, data []byte)
+	// Len returns the target's capacity in bytes.
+	Len() int
+}
+
+// Packet is a received AAL5 frame as handed to the host protocol stack.
+// Exactly one of the placement fields is set, according to the NIC's
+// input buffering architecture.
+type Packet struct {
+	Port    int // demultiplexing key (VC / connection)
+	Length  int // payload bytes
+	Arrival sim.Time
+
+	// Direct is set under early demultiplexing when the payload was
+	// DMAed into the preposted target; Target is that target.
+	Direct bool
+	Target DMATarget
+
+	// Overlay holds the overlay frames carrying the payload under
+	// pooled buffering. The payload starts at OverlayOff within the
+	// first frame.
+	Overlay    []*mem.Frame
+	OverlayOff int
+
+	// Outboard holds the staged payload under outboard buffering.
+	Outboard *OutboardBuffer
+}
+
+// Stats counts NIC events.
+type Stats struct {
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	Dropped            uint64 // frames with no preposted buffer and no fallback
+	PoolFailures       uint64
+}
+
+// postedInput is one entry of a per-port early-demultiplexing buffer list.
+type postedInput struct {
+	target DMATarget
+}
+
+// NIC is a simulated network adapter.
+type NIC struct {
+	name      string
+	eng       *sim.Engine
+	link      *Link
+	peer      *NIC
+	buffering InputBuffering
+
+	pool       *OverlayPool
+	overlayOff int // placement offset of payload within the first overlay page
+	outboard   *OutboardMemory
+
+	posted map[int][]postedInput
+	rx     func(Packet)
+	mtu    int
+	reasm  map[int]*reassembly
+
+	busyUntil sim.Time // transmit-side serialization
+	corruptAt int      // fault injection: flip this payload byte next tx
+	stats     Stats
+}
+
+// NICConfig configures a NIC.
+type NICConfig struct {
+	Name      string
+	Buffering InputBuffering
+	// Pool provides overlay pages; required for Pooled, optional
+	// fallback otherwise.
+	Pool *OverlayPool
+	// OverlayOff is where the I/O module places payload within the
+	// first overlay page (e.g. room left by unstripped headers). The
+	// "preferred alignment" applications query for (Section 5.2).
+	OverlayOff int
+	// Outboard provides staging memory; required for OutboardBuffering.
+	Outboard *OutboardMemory
+	// MTU fragments datagrams larger than this into multiple packets
+	// (0 = no fragmentation; single AAL5 frames, the paper's regime).
+	MTU int
+}
+
+// NewNIC creates an adapter on the simulation engine.
+func NewNIC(eng *sim.Engine, cfg NICConfig) (*NIC, error) {
+	switch cfg.Buffering {
+	case EarlyDemux:
+	case Pooled:
+		if cfg.Pool == nil {
+			return nil, fmt.Errorf("netsim: pooled NIC %q needs an overlay pool", cfg.Name)
+		}
+	case OutboardBuffering:
+		if cfg.Outboard == nil {
+			return nil, fmt.Errorf("netsim: outboard NIC %q needs outboard memory", cfg.Name)
+		}
+	default:
+		return nil, fmt.Errorf("netsim: unknown buffering %d", cfg.Buffering)
+	}
+	return &NIC{
+		name:       cfg.Name,
+		eng:        eng,
+		buffering:  cfg.Buffering,
+		pool:       cfg.Pool,
+		overlayOff: cfg.OverlayOff,
+		outboard:   cfg.Outboard,
+		mtu:        cfg.MTU,
+		posted:     make(map[int][]postedInput),
+		reasm:      make(map[int]*reassembly),
+		corruptAt:  -1,
+	}, nil
+}
+
+// MTU returns the fragmentation threshold (0 = none).
+func (n *NIC) MTU() int { return n.mtu }
+
+// Name returns the NIC name.
+func (n *NIC) Name() string { return n.name }
+
+// Buffering returns the input architecture.
+func (n *NIC) Buffering() InputBuffering { return n.buffering }
+
+// PreferredOffset returns the payload placement offset within the first
+// input page — what Genie's alignment query interface reports to
+// applications.
+func (n *NIC) PreferredOffset() int { return n.overlayOff }
+
+// Pool returns the NIC's overlay pool (nil unless pooled buffering or an
+// early-demultiplexing fallback pool is configured). The host protocol
+// stack returns or refills overlay pages through it at dispose time.
+func (n *NIC) Pool() *OverlayPool { return n.pool }
+
+// Stats returns a snapshot of the NIC counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// SetRxHandler installs the host protocol stack's receive upcall,
+// invoked at frame delivery time on the simulated clock.
+func (n *NIC) SetRxHandler(fn func(Packet)) { n.rx = fn }
+
+// PostInput appends a buffer to the early-demultiplexing list for port.
+// Posting is what makes in-place or system-aligned input possible; it is
+// harmless (and ignored on arrival) for other architectures.
+func (n *NIC) PostInput(port int, target DMATarget) {
+	n.posted[port] = append(n.posted[port], postedInput{target: target})
+}
+
+// UnpostInput removes the oldest posted buffer for port (error recovery).
+func (n *NIC) UnpostInput(port int) bool {
+	q := n.posted[port]
+	if len(q) == 0 {
+		return false
+	}
+	n.posted[port] = q[1:]
+	return true
+}
+
+// PostedInputs returns the number of buffers posted for port.
+func (n *NIC) PostedInputs(port int) int { return len(n.posted[port]) }
+
+// CorruptNextTx arms single-shot fault injection: byte off of the next
+// transmitted frame is bit-flipped on the wire. Checksumming experiments
+// use it to exercise verification-failure paths.
+func (n *NIC) CorruptNextTx(off int) { n.corruptAt = off }
+
+// applyFault consumes an armed corruption, returning the payload to send.
+func (n *NIC) applyFault(payload []byte) []byte {
+	if n.corruptAt < 0 || n.corruptAt >= len(payload) {
+		return payload
+	}
+	mangled := make([]byte, len(payload))
+	copy(mangled, payload)
+	mangled[n.corruptAt] ^= 0x55
+	n.corruptAt = -1
+	return mangled
+}
+
+// Transmit serializes payload onto the link as one AAL5 frame and
+// invokes onSent (if non-nil) when the last cell has left the adapter.
+// Delivery to the peer includes the link's fixed latency.
+func (n *NIC) Transmit(port int, payload []byte, onSent func()) error {
+	if n.link == nil {
+		return ErrNotAttached
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	payload = n.applyFault(payload)
+	n.stats.TxFrames++
+	n.stats.TxBytes += uint64(len(payload))
+
+	start := n.eng.Now().Max(n.busyUntil)
+	wire := sim.Duration(n.link.perByteUS * float64(len(payload)))
+	n.busyUntil = start.Add(wire)
+	peer := n.peer
+
+	if onSent != nil {
+		n.eng.ScheduleAt(n.busyUntil, onSent)
+	}
+	deliver := n.busyUntil.Add(sim.Duration(n.link.fixedUS))
+	n.eng.ScheduleAt(deliver, func() { peer.receive(port, payload) })
+	return nil
+}
+
+// receive runs at frame arrival and routes the payload according to the
+// input buffering architecture.
+func (n *NIC) receive(port int, payload []byte) {
+	n.stats.RxFrames++
+	n.stats.RxBytes += uint64(len(payload))
+	pkt := Packet{Port: port, Length: len(payload), Arrival: n.eng.Now()}
+
+	switch n.buffering {
+	case EarlyDemux:
+		if q := n.posted[port]; len(q) > 0 {
+			post := q[0]
+			n.posted[port] = q[1:]
+			limit := min(len(payload), post.target.Len())
+			post.target.DMAWrite(0, payload[:limit])
+			pkt.Direct = true
+			pkt.Target = post.target
+			pkt.Length = limit
+			break
+		}
+		// No location information available: fall back to pooled overlay
+		// buffering if a pool exists (Section 6.2.2), else drop.
+		if n.pool == nil {
+			n.stats.Dropped++
+			return
+		}
+		fallthrough
+
+	case Pooled:
+		frames, err := n.pool.Get(n.pool.PagesFor(n.overlayOff + len(payload)))
+		if err != nil {
+			n.stats.PoolFailures++
+			n.stats.Dropped++
+			return
+		}
+		writeToFrames(frames, n.overlayOff, payload)
+		pkt.Overlay = frames
+		pkt.OverlayOff = n.overlayOff
+
+	case OutboardBuffering:
+		buf, err := n.outboard.Alloc(len(payload))
+		if err != nil {
+			n.stats.Dropped++
+			return
+		}
+		copy(buf.data, payload)
+		pkt.Outboard = buf
+	}
+
+	if n.rx != nil {
+		n.rx(pkt)
+	} else {
+		n.stats.Dropped++
+	}
+}
+
+// writeToFrames scatters data into page frames starting at off within
+// the first frame.
+func writeToFrames(frames []*mem.Frame, off int, data []byte) {
+	for _, f := range frames {
+		if len(data) == 0 {
+			return
+		}
+		n := copy(f.Data()[off:], data)
+		data = data[n:]
+		off = 0
+	}
+	if len(data) > 0 {
+		panic(fmt.Sprintf("netsim: overlay frames short by %d bytes", len(data)))
+	}
+}
+
+// Link is a full-duplex point-to-point connection between two NICs.
+type Link struct {
+	eng       *sim.Engine
+	perByteUS float64 // serialization cost, us per payload byte
+	fixedUS   float64 // propagation + device + interrupt + OS fixed path
+}
+
+// NewLink creates a link with the given base-latency parameters (the
+// cost model's Base() linear terms) and attaches both NICs.
+func NewLink(eng *sim.Engine, perByteUS, fixedUS float64, a, b *NIC) *Link {
+	l := &Link{eng: eng, perByteUS: perByteUS, fixedUS: fixedUS}
+	a.link, b.link = l, l
+	a.peer, b.peer = b, a
+	return l
+}
+
+// PerByteUS returns the serialization cost in microseconds per byte.
+func (l *Link) PerByteUS() float64 { return l.perByteUS }
+
+// FixedUS returns the fixed delivery latency in microseconds.
+func (l *Link) FixedUS() float64 { return l.fixedUS }

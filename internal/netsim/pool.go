@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// OverlayPool is an I/O module's private pool of fixed-size overlay
+// pages in host main memory (Section 6.2.2). Frames are preallocated
+// from physical memory; Get hands them to arriving packets and Put
+// returns them after dispose. When a semantics consumes overlay pages
+// permanently (move maps them into the application), Refill replaces
+// them with freshly allocated frames to avoid pool depletion.
+type OverlayPool struct {
+	pm    *mem.PhysMem
+	free  []*mem.Frame
+	total int
+}
+
+// NewOverlayPool preallocates npages overlay pages.
+func NewOverlayPool(pm *mem.PhysMem, npages int) (*OverlayPool, error) {
+	p := &OverlayPool{pm: pm, total: npages}
+	for i := 0; i < npages; i++ {
+		f, err := pm.Alloc()
+		if err != nil {
+			p.Destroy()
+			return nil, fmt.Errorf("netsim: overlay pool: %w", err)
+		}
+		p.free = append(p.free, f)
+	}
+	return p, nil
+}
+
+// PageSize returns the overlay page size.
+func (p *OverlayPool) PageSize() int { return p.pm.PageSize() }
+
+// PagesFor returns the number of overlay pages needed for n bytes.
+func (p *OverlayPool) PagesFor(n int) int {
+	ps := p.pm.PageSize()
+	return (n + ps - 1) / ps
+}
+
+// Free returns the number of available overlay pages.
+func (p *OverlayPool) Free() int { return len(p.free) }
+
+// Total returns the pool's configured size.
+func (p *OverlayPool) Total() int { return p.total }
+
+// Get removes n pages from the pool.
+func (p *OverlayPool) Get(n int) ([]*mem.Frame, error) {
+	if n > len(p.free) {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrPoolDepleted, n, len(p.free))
+	}
+	frames := make([]*mem.Frame, n)
+	copy(frames, p.free[len(p.free)-n:])
+	p.free = p.free[:len(p.free)-n]
+	return frames, nil
+}
+
+// Put returns pages to the pool after the input is disposed.
+func (p *OverlayPool) Put(frames ...*mem.Frame) {
+	p.free = append(p.free, frames...)
+	if len(p.free) > p.total {
+		panic(fmt.Sprintf("netsim: overlay pool overfilled: %d > %d", len(p.free), p.total))
+	}
+}
+
+// Refill allocates n fresh pages to replace overlay pages consumed by a
+// semantics that maps them to the application (move input, Table 4).
+func (p *OverlayPool) Refill(n int) error {
+	for i := 0; i < n; i++ {
+		f, err := p.pm.Alloc()
+		if err != nil {
+			return fmt.Errorf("netsim: overlay refill: %w", err)
+		}
+		p.free = append(p.free, f)
+	}
+	return nil
+}
+
+// ConsumedBy records that n pages previously obtained with Get will not
+// come back via Put (they now belong to an application region), lowering
+// the overfill check threshold accordingly... they were already removed
+// from free by Get, so only the accounting of total changes when the
+// caller refills.
+func (p *OverlayPool) ConsumedBy(n int) {
+	// Pages consumed and pages refilled cancel out; nothing to track
+	// beyond the invariant that free never exceeds total.
+}
+
+// Destroy releases all pooled frames back to physical memory.
+func (p *OverlayPool) Destroy() {
+	for _, f := range p.free {
+		p.pm.Release(f)
+	}
+	p.free = nil
+}
+
+// OutboardMemory is the staging memory of a store-and-forward adapter
+// (Section 6.2.3).
+type OutboardMemory struct {
+	capacity int
+	used     int
+}
+
+// NewOutboardMemory creates adapter memory of the given byte capacity.
+func NewOutboardMemory(capacity int) *OutboardMemory {
+	return &OutboardMemory{capacity: capacity}
+}
+
+// Free returns the unallocated outboard bytes.
+func (o *OutboardMemory) Free() int { return o.capacity - o.used }
+
+// Alloc stages an n-byte buffer in outboard memory.
+func (o *OutboardMemory) Alloc(n int) (*OutboardBuffer, error) {
+	if o.used+n > o.capacity {
+		return nil, fmt.Errorf("%w: need %d, free %d", ErrOutboardFull, n, o.capacity-o.used)
+	}
+	o.used += n
+	return &OutboardBuffer{mem: o, data: make([]byte, n)}, nil
+}
+
+// OutboardBuffer is a staged frame in adapter memory.
+type OutboardBuffer struct {
+	mem   *OutboardMemory
+	data  []byte
+	freed bool
+}
+
+// Len returns the staged payload length.
+func (b *OutboardBuffer) Len() int { return len(b.data) }
+
+// DMAToHost transfers the staged payload into a host target — the
+// dispose-time DMA of outboard input.
+func (b *OutboardBuffer) DMAToHost(target DMATarget) {
+	limit := min(len(b.data), target.Len())
+	target.DMAWrite(0, b.data[:limit])
+}
+
+// Bytes exposes the staged payload (for checksum engines and tests).
+func (b *OutboardBuffer) Bytes() []byte { return b.data }
+
+// Free returns the buffer's space to the adapter.
+func (b *OutboardBuffer) Free() {
+	if b.freed {
+		panic("netsim: double free of outboard buffer")
+	}
+	b.freed = true
+	b.mem.used -= len(b.data)
+	b.data = nil
+}

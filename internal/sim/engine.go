@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. It may be cancelled before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once removed
+	cancel bool
+}
+
+// When returns the virtual time at which the event is scheduled to fire.
+func (ev *Event) When() Time { return ev.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() { ev.cancel = true }
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator.
+//
+// The zero value is ready to use, with the clock at time 0.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+	steps uint64
+}
+
+// New returns a new engine with the clock at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events waiting to fire (including
+// cancelled events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Schedule queues fn to run d after the current time. A negative d is an
+// error in the caller; it is clamped to zero so the event still fires,
+// preserving causality.
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt queues fn to run at absolute time t. Times in the past are
+// clamped to the current time.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain, returning the final clock value.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 {
+		// Peek at the earliest non-cancelled event.
+		ev := e.queue[0]
+		if ev.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunSteps executes at most n events and reports how many actually ran.
+// It guards harness loops against runaway event storms.
+func (e *Engine) RunSteps(n int) int {
+	ran := 0
+	for ran < n && e.Step() {
+		ran++
+	}
+	return ran
+}
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine(now=%v pending=%d)", e.now, len(e.queue))
+}

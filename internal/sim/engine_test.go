@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineZeroValue(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("zero engine clock = %v, want 0", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+	if got := e.Run(); got != 0 {
+		t.Fatalf("Run on empty engine = %v, want 0", got)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final clock = %v, want 30", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events fired out of schedule order: %v", order)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(5, func() {
+			hits = append(hits, e.Now())
+		})
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits = %v, want [10 15]", hits)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %v for cancelled event", e.Now())
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(10, func() { order = append(order, 1) })
+	ev := e.Schedule(20, func() { order = append(order, 2) })
+	e.Schedule(30, func() { order = append(order, 3) })
+	ev.Cancel()
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New()
+	e.Schedule(100, func() {
+		e.Schedule(-50, func() {
+			if e.Now() != 100 {
+				t.Errorf("negative-delay event fired at %v, want 100", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	e := New()
+	e.Schedule(100, func() {
+		e.ScheduleAt(10, func() {
+			if e.Now() != 100 {
+				t.Errorf("past event fired at %v, want 100", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var count int
+	for _, d := range []Duration{10, 20, 30, 40} {
+		e.Schedule(d, func() { count++ })
+	}
+	e.RunUntil(25)
+	if count != 2 {
+		t.Fatalf("count after RunUntil(25) = %d, want 2", count)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %v, want 25", e.Now())
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("count after Run = %d, want 4", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("clock = %v, want 500", e.Now())
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Duration(i), func() { count++ })
+	}
+	ran := e.RunSteps(3)
+	if ran != 3 || count != 3 {
+		t.Fatalf("ran=%d count=%d, want 3/3", ran, count)
+	}
+	if got := e.RunSteps(100); got != 7 {
+		t.Fatalf("second RunSteps ran %d, want 7", got)
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.Schedule(1, func() {})
+	}
+	e.Run()
+	if e.Steps() != 5 {
+		t.Fatalf("Steps = %d, want 5", e.Steps())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(100)
+	if tm.Add(Micros(50)) != 150 {
+		t.Fatal("Add")
+	}
+	if Time(150).Sub(tm) != 50 {
+		t.Fatal("Sub")
+	}
+	if !tm.Before(150) || !Time(150).After(tm) {
+		t.Fatal("Before/After")
+	}
+	if tm.Max(200) != 200 || Time(300).Max(tm) != 300 {
+		t.Fatal("Max")
+	}
+	if Millis(2).Micros() != 2000 {
+		t.Fatal("Millis→Micros")
+	}
+	if Duration(5e6).Seconds() != 5 {
+		t.Fatal("Seconds")
+	}
+	if Duration(1500).Millis() != 1.5 {
+		t.Fatal("Millis")
+	}
+}
+
+// Property: events always fire in nondecreasing time order, regardless of
+// the order in which they were scheduled.
+func TestPropertyMonotonicClock(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := New()
+		var times []Time
+		for _, d := range delays {
+			e.Schedule(Duration(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Run visits every scheduled, non-cancelled event exactly once.
+func TestPropertyAllEventsFire(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		total := int(n)
+		fired := 0
+		cancelled := 0
+		for i := 0; i < total; i++ {
+			ev := e.Schedule(Duration(rng.Intn(1000)), func() { fired++ })
+			if rng.Intn(4) == 0 {
+				ev.Cancel()
+				cancelled++
+			}
+		}
+		e.Run()
+		return fired == total-cancelled
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 100; j++ {
+			e.Schedule(Duration(j%17), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,60 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives a virtual clock measured in microseconds, the unit
+// used throughout the OSDI '96 paper this repository reproduces. Events
+// are executed in nondecreasing time order; ties are broken by schedule
+// order, which makes runs fully deterministic.
+package sim
+
+import "fmt"
+
+// Time is an absolute point on the virtual clock, in microseconds.
+type Time float64
+
+// Duration is a span of virtual time, in microseconds.
+type Duration float64
+
+// Common durations.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000
+	Second      Duration = 1e6
+)
+
+// Micros returns a Duration of n microseconds.
+func Micros(n float64) Duration { return Duration(n) }
+
+// Millis returns a Duration of n milliseconds.
+func Millis(n float64) Duration { return Duration(n * 1000) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Max returns the later of t and u.
+func (t Time) Max(u Time) Time {
+	if t > u {
+		return t
+	}
+	return u
+}
+
+// Micros reports the duration as a float64 number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) }
+
+// Millis reports the duration as a float64 number of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1000 }
+
+// Seconds reports the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e6 }
+
+func (t Time) String() string     { return fmt.Sprintf("%.3fus", float64(t)) }
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", float64(d)) }

@@ -1,0 +1,121 @@
+// Package stats provides the small statistical toolkit the paper's
+// analysis uses: least-squares linear fits of latency versus datagram
+// length (Tables 6 and 7) and geometric-mean/min/max summaries of
+// parameter ratios (Table 8).
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInsufficientData is returned when a computation needs more points.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Fit is the result of a least-squares linear regression y = Slope*x +
+// Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+	N         int
+}
+
+// LinearFit computes the least-squares line through (xs[i], ys[i]).
+// It needs at least two distinct x values.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, errors.New("stats: mismatched slice lengths")
+	}
+	n := len(xs)
+	if n < 2 {
+		return Fit{}, ErrInsufficientData
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, ErrInsufficientData
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx, N: n}
+	if syy == 0 {
+		fit.R2 = 1 // constant data perfectly fit by a flat line
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// Eval evaluates the fitted line at x.
+func (f Fit) Eval(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// GeoMean returns the geometric mean of strictly positive values.
+func GeoMean(vals []float64) (float64, error) {
+	if len(vals) == 0 {
+		return 0, ErrInsufficientData
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0, errors.New("stats: geometric mean of nonpositive value")
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals))), nil
+}
+
+// MinMax returns the extrema of vals.
+func MinMax(vals []float64) (lo, hi float64, err error) {
+	if len(vals) == 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi, nil
+}
+
+// RatioSummary is one row of the paper's Table 8: the geometric mean and
+// range of a set of parameter ratios.
+type RatioSummary struct {
+	GM, Min, Max float64
+	N            int
+}
+
+// Summarize builds a RatioSummary over strictly positive ratios.
+func Summarize(ratios []float64) (RatioSummary, error) {
+	gm, err := GeoMean(ratios)
+	if err != nil {
+		return RatioSummary{}, err
+	}
+	lo, hi, err := MinMax(ratios)
+	if err != nil {
+		return RatioSummary{}, err
+	}
+	return RatioSummary{GM: gm, Min: lo, Max: hi, N: len(ratios)}, nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(vals []float64) (float64, error) {
+	if len(vals) == 0 {
+		return 0, ErrInsufficientData
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals)), nil
+}

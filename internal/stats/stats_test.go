@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*x + 7
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 2.5, 1e-12) || !almost(fit.Intercept, 7, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almost(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+	if got := fit.Eval(10); !almost(got, 32, 1e-12) {
+		t.Fatalf("Eval(10) = %v", got)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i) * 100
+		xs = append(xs, x)
+		ys = append(ys, 0.06*x+130+rng.NormFloat64()*5)
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 0.06, 0.001) {
+		t.Fatalf("slope = %v", fit.Slope)
+	}
+	if !almost(fit.Intercept, 130, 5) {
+		t.Fatalf("intercept = %v", fit.Intercept)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := LinearFit([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	fit, err := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 0, 1e-12) || !almost(fit.Intercept, 5, 1e-12) || fit.R2 != 1 {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	gm, err := GeoMean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(gm, 4, 1e-12) {
+		t.Fatalf("GeoMean(2,8) = %v", gm)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestMinMaxMeanSummarize(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5}
+	lo, hi, err := MinMax(vals)
+	if err != nil || lo != 1 || hi != 5 {
+		t.Fatalf("MinMax = %v %v %v", lo, hi, err)
+	}
+	m, err := Mean(vals)
+	if err != nil || !almost(m, 2.8, 1e-12) {
+		t.Fatalf("Mean = %v %v", m, err)
+	}
+	s, err := Summarize(vals)
+	if err != nil || s.Min != 1 || s.Max != 5 || s.N != 5 {
+		t.Fatalf("Summarize = %+v %v", s, err)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Fatal("empty MinMax accepted")
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("empty Mean accepted")
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty Summarize accepted")
+	}
+}
+
+// Property: LinearFit recovers any line exactly from noiseless samples.
+func TestPropertyFitRecoversLine(t *testing.T) {
+	prop := func(slopeRaw, interceptRaw int16, seed int64) bool {
+		slope := float64(slopeRaw) / 100
+		intercept := float64(interceptRaw)
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 10)
+		ys := make([]float64, 10)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(10000)) + float64(i)*10000 // distinct
+			ys[i] = slope*xs[i] + intercept
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almost(fit.Slope, slope, 1e-6) && almost(fit.Intercept, intercept, 1e-3)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the geometric mean lies between min and max.
+func TestPropertyGeoMeanBounded(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r%1000) + 1
+		}
+		s, err := Summarize(vals)
+		if err != nil {
+			return false
+		}
+		return s.GM >= s.Min-1e-9 && s.GM <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestCOWChainDepth: copy of a copy builds a deeper shadow chain; every
+// generation stays isolated.
+func TestCOWChainDepth(t *testing.T) {
+	sys := newTestSystem(32)
+	gen0 := sys.NewAddressSpace()
+	gen1 := sys.NewAddressSpace()
+	gen2 := sys.NewAddressSpace()
+
+	r0 := mustRegion(t, gen0, 2*testPageSize, Unmovable)
+	original := bytes.Repeat([]byte{0xA0}, 2*testPageSize)
+	if err := gen0.Poke(r0.Start(), original); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := gen0.CopyRegionCOW(r0.Start(), 2*testPageSize, gen1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := gen1.CopyRegionCOW(r1.Start(), 2*testPageSize, gen2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three read the original without any copies.
+	allocs := sys.Phys().Stats().Allocs
+	for i, pair := range []struct {
+		as *AddressSpace
+		r  *Region
+	}{{gen0, r0}, {gen1, r1}, {gen2, r2}} {
+		got := make([]byte, 2*testPageSize)
+		if err := pair.as.Peek(pair.r.Start(), got); err != nil {
+			t.Fatalf("gen%d peek: %v", i, err)
+		}
+		if !bytes.Equal(got, original) {
+			t.Fatalf("gen%d sees wrong data", i)
+		}
+	}
+	if sys.Phys().Stats().Allocs != allocs {
+		t.Fatal("reads of COW chain allocated frames")
+	}
+
+	// Each generation writes a different page; the others are unaffected.
+	if err := gen2.Poke(r2.Start(), []byte{0xC2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen1.Poke(r1.Start()+Addr(testPageSize), []byte{0xC1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen0.Poke(r0.Start(), []byte{0xC0}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, as *AddressSpace, r *Region, off int, want byte) {
+		t.Helper()
+		b := make([]byte, 1)
+		if err := as.Peek(r.Start()+Addr(off), b); err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != want {
+			t.Errorf("%s[%d] = %#x, want %#x", name, off, b[0], want)
+		}
+	}
+	check("gen0", gen0, r0, 0, 0xC0)
+	check("gen1", gen1, r1, 0, 0xA0)
+	check("gen2", gen2, r2, 0, 0xC2)
+	check("gen0", gen0, r0, testPageSize, 0xA0)
+	check("gen1", gen1, r1, testPageSize, 0xC1)
+	check("gen2", gen2, r2, testPageSize, 0xA0)
+	checkAll(t, sys, gen0)
+	checkAll(t, sys, gen1)
+	checkAll(t, sys, gen2)
+}
+
+// TestCOWChainTeardown: removing regions in any order releases exactly
+// the frames each generation privately owns, and the shared origin pages
+// only when the last referencing chain goes.
+func TestCOWChainTeardown(t *testing.T) {
+	sys := newTestSystem(32)
+	a := sys.NewAddressSpace()
+	b := sys.NewAddressSpace()
+	ra := mustRegion(t, a, 2*testPageSize, Unmovable)
+	if err := a.Poke(ra.Start(), bytes.Repeat([]byte{1}, 2*testPageSize)); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := a.CopyRegionCOW(ra.Start(), 2*testPageSize, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b privatizes one page.
+	if err := b.Poke(rb.Start(), []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the source first: origin pages must survive for b.
+	if err := a.RemoveRegion(ra); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if err := b.Peek(rb.Start()+Addr(testPageSize), got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("origin page lost when source region removed")
+	}
+	if err := b.RemoveRegion(rb); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Phys().FreeFrames() != sys.Phys().NumFrames() {
+		t.Fatalf("frames leaked after full teardown: %d free of %d",
+			sys.Phys().FreeFrames(), sys.Phys().NumFrames())
+	}
+}
+
+// TestCOWPageoutOfSharedOrigin: the daemon may evict a COW-shared origin
+// page; both sides page it back in correctly.
+func TestCOWPageoutOfSharedOrigin(t *testing.T) {
+	sys := newTestSystem(32)
+	a := sys.NewAddressSpace()
+	b := sys.NewAddressSpace()
+	ra := mustRegion(t, a, testPageSize, Unmovable)
+	payload := bytes.Repeat([]byte{0x3B}, testPageSize)
+	if err := a.Poke(ra.Start(), payload); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := a.CopyRegionCOW(ra.Start(), testPageSize, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewPageoutDaemon(sys).ScanOnce(100)
+	gotA := make([]byte, testPageSize)
+	if err := a.Peek(ra.Start(), gotA); err != nil {
+		t.Fatal(err)
+	}
+	gotB := make([]byte, testPageSize)
+	if err := b.Peek(rb.Start(), gotB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, payload) || !bytes.Equal(gotB, payload) {
+		t.Fatal("shared origin corrupted by pageout")
+	}
+	// Writing after page-in still triggers COW isolation.
+	if err := b.Poke(rb.Start(), []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Peek(ra.Start(), gotA[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if gotA[0] == 9 {
+		t.Fatal("COW isolation lost across pageout")
+	}
+	checkAll(t, sys, a)
+	checkAll(t, sys, b)
+}
+
+// TestKernelSwapIntoNonResidentPage: KernelSwapPage on a page that was
+// never touched installs the frame fresh; on a paged-out page the stale
+// backing copy is dropped.
+func TestKernelSwapVariants(t *testing.T) {
+	sys := newTestSystem(16)
+	as := sys.NewAddressSpace()
+	r := mustRegion(t, as, 2*testPageSize, Unmovable)
+
+	// Variant 1: nonresident page.
+	nf, _ := sys.Phys().Alloc()
+	copy(nf.Data(), "fresh install")
+	old, err := as.KernelSwapPage(r.Start(), nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != nil {
+		t.Fatal("swap into empty page returned an old frame")
+	}
+	got := make([]byte, 13)
+	if err := as.Peek(r.Start(), got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fresh install" {
+		t.Fatalf("got %q", got)
+	}
+
+	// Variant 2: paged-out page — the backing copy must be obsoleted.
+	if err := as.Poke(r.Start()+Addr(testPageSize), []byte("will be paged out")); err != nil {
+		t.Fatal(err)
+	}
+	NewPageoutDaemon(sys).ScanOnce(100)
+	nf2, _ := sys.Phys().Alloc()
+	copy(nf2.Data(), "replacement data!")
+	if _, err := as.KernelSwapPage(r.Start()+Addr(testPageSize), nf2); err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, 17)
+	if err := as.Peek(r.Start()+Addr(testPageSize), got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "replacement data!" {
+		t.Fatalf("stale backing copy resurfaced: %q", got)
+	}
+
+	// Variant 3: unaligned and unmapped addresses are rejected.
+	nf3, _ := sys.Phys().Alloc()
+	if _, err := as.KernelSwapPage(r.Start()+1, nf3); err == nil {
+		t.Fatal("unaligned KernelSwapPage accepted")
+	}
+	if _, err := as.KernelSwapPage(0xdeadbeee000, nf3); err == nil {
+		t.Fatal("KernelSwapPage outside regions accepted")
+	}
+	sys.Phys().Release(nf3)
+	checkAll(t, sys, as)
+}
+
+// TestAdoptFramesBounds: adopting more frames than the region has pages
+// fails cleanly.
+func TestAdoptFramesBounds(t *testing.T) {
+	sys := newTestSystem(16)
+	as := sys.NewAddressSpace()
+	r := mustRegion(t, as, testPageSize, MovingIn)
+	f1, _ := sys.Phys().Alloc()
+	f2, _ := sys.Phys().Alloc()
+	if err := r.AdoptFrames([]*mem.Frame{f1, f2}); err == nil {
+		t.Fatal("oversized AdoptFrames accepted")
+	}
+	sys.Phys().Release(f1)
+	sys.Phys().Release(f2)
+}

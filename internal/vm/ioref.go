@@ -1,0 +1,220 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Extent is a piece of an I/O buffer resolved to physical memory: Len
+// bytes starting Off bytes into Frame. A sequence of extents is the
+// descriptor a device DMA engine consumes.
+type Extent struct {
+	Frame *mem.Frame
+	Off   int
+	Len   int
+}
+
+// refEntry pairs a referenced frame with the object whose input count it
+// raised (nil for output references).
+type refEntry struct {
+	frame *mem.Frame
+	obj   *MemObject
+}
+
+// IORef is the result of page referencing (Section 3.1): an I/O request
+// descriptor with the request's physical extents, holding input or
+// output references on every page it covers. Dropping the references via
+// Unreference completes any I/O-deferred deallocation.
+type IORef struct {
+	sys     *System
+	input   bool
+	extents []Extent
+	entries []refEntry
+	done    bool
+}
+
+// ReferenceRange performs Genie's page referencing on [va, va+length):
+// it verifies access rights (faulting pages in as needed — for input
+// this demands write access, which automatically resolves COW into a
+// private writable copy, per Section 3.3), builds the physical extent
+// descriptor, and raises input or output reference counts.
+func (as *AddressSpace) ReferenceRange(va Addr, length int, input bool) (*IORef, error) {
+	sys := as.sys
+	if length <= 0 {
+		return nil, fmt.Errorf("vm: ReferenceRange(%#x, %d): empty range", va, length)
+	}
+	ref := &IORef{sys: sys, input: input}
+	off := 0
+	for off < length {
+		cur := va + Addr(off)
+		pageVA := sys.pageFloor(cur)
+		pgOff := int(cur - pageVA)
+		n := min(sys.pageSize-pgOff, length-off)
+
+		r := as.FindRegion(cur)
+		if r == nil || !r.state.Accessible() {
+			ref.rollback()
+			return nil, fmt.Errorf("%w: ReferenceRange at %#x", ErrFault, cur)
+		}
+		if err := as.ensureMapped(pageVA, input); err != nil {
+			ref.rollback()
+			return nil, err
+		}
+		pte := as.pt[pageVA]
+		if input {
+			sys.pm.RefInput(pte.Frame)
+			r.object.refInput()
+			ref.entries = append(ref.entries, refEntry{pte.Frame, r.object})
+		} else {
+			sys.pm.RefOutput(pte.Frame)
+			ref.entries = append(ref.entries, refEntry{pte.Frame, nil})
+		}
+		ref.extents = append(ref.extents, Extent{Frame: pte.Frame, Off: pgOff, Len: n})
+		off += n
+	}
+	return ref, nil
+}
+
+// ReferenceRegion references a whole moved-in region for input reuse —
+// the prepare step of (emulated) (weak) move input.
+func (as *AddressSpace) ReferenceRegion(r *Region, length int, input bool) (*IORef, error) {
+	sys := as.sys
+	ref := &IORef{sys: sys, input: input}
+	ps := sys.pageSize
+	pages := sys.pageCount(r.start, length)
+	for i := 0; i < pages; i++ {
+		pi := r.objOff + i
+		f, holder := r.object.lookup(pi)
+		if f == nil || holder != r.object {
+			// Fault the page into the top object directly: the region is
+			// hidden, so the application fault path would refuse.
+			nf, err := allocPrivate(sys, r.object, pi, f)
+			if err != nil {
+				ref.rollback()
+				return nil, err
+			}
+			f = nf
+		}
+		n := min(ps, length-i*ps)
+		if input {
+			sys.pm.RefInput(f)
+			r.object.refInput()
+			ref.entries = append(ref.entries, refEntry{f, r.object})
+		} else {
+			sys.pm.RefOutput(f)
+			ref.entries = append(ref.entries, refEntry{f, nil})
+		}
+		ref.extents = append(ref.extents, Extent{Frame: f, Off: 0, Len: n})
+	}
+	return ref, nil
+}
+
+// allocPrivate materializes page pi privately in obj, copying from a
+// lower-chain frame if one exists, else from backing store, else zeroed.
+func allocPrivate(sys *System, obj *MemObject, pi int, lower *mem.Frame) (*mem.Frame, error) {
+	if holder, ok := obj.pagedOut(pi); ok && holder == obj {
+		nf, err := sys.pm.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		copy(nf.Data(), holder.backing[pi])
+		delete(holder.backing, pi)
+		obj.insertPage(pi, nf)
+		sys.stats.PageIns++
+		return nf, nil
+	}
+	nf, err := sys.pm.AllocZeroed()
+	if err != nil {
+		return nil, err
+	}
+	if lower != nil {
+		copy(nf.Data(), lower.Data())
+	}
+	obj.insertPage(pi, nf)
+	return nf, nil
+}
+
+// Extents returns the physical extent descriptor for the request.
+func (ref *IORef) Extents() []Extent { return ref.extents }
+
+// Pages returns the number of referenced pages.
+func (ref *IORef) Pages() int { return len(ref.entries) }
+
+// Frames returns the referenced frames, one per extent.
+func (ref *IORef) Frames() []*mem.Frame {
+	fs := make([]*mem.Frame, len(ref.entries))
+	for i, e := range ref.entries {
+		fs[i] = e.frame
+	}
+	return fs
+}
+
+// Len returns the total byte length of the referenced extents.
+func (ref *IORef) Len() int {
+	n := 0
+	for _, e := range ref.extents {
+		n += e.Len
+	}
+	return n
+}
+
+// Unreference drops the references taken by ReferenceRange, completing
+// any deallocation deferred during the I/O. It is idempotent so error
+// paths can call it defensively.
+func (ref *IORef) Unreference() {
+	if ref.done {
+		return
+	}
+	ref.done = true
+	for _, e := range ref.entries {
+		if ref.input {
+			ref.sys.pm.UnrefInput(e.frame)
+			e.obj.unrefInput()
+		} else {
+			ref.sys.pm.UnrefOutput(e.frame)
+		}
+	}
+}
+
+// rollback undoes a partially constructed reference set.
+func (ref *IORef) rollback() { ref.Unreference() }
+
+// DMAWrite models a device storing data into the referenced extents,
+// starting at byte offset off within the request. It bypasses page
+// tables and protections entirely, exactly like hardware DMA — this is
+// why COW must be input-disabled (Section 3.3).
+func (ref *IORef) DMAWrite(off int, data []byte) {
+	pos := 0
+	for _, e := range ref.extents {
+		if off < pos+e.Len && len(data) > 0 {
+			start := max(off-pos, 0)
+			n := min(e.Len-start, len(data))
+			copy(e.Frame.Data()[e.Off+start:e.Off+start+n], data[:n])
+			data = data[n:]
+			off += n
+		}
+		pos += e.Len
+	}
+	if len(data) > 0 {
+		panic(fmt.Sprintf("vm: DMAWrite overruns request by %d bytes", len(data)))
+	}
+}
+
+// DMARead models a device loading data from the referenced extents.
+func (ref *IORef) DMARead(off int, buf []byte) {
+	pos := 0
+	for _, e := range ref.extents {
+		if off < pos+e.Len && len(buf) > 0 {
+			start := max(off-pos, 0)
+			n := min(e.Len-start, len(buf))
+			copy(buf[:n], e.Frame.Data()[e.Off+start:e.Off+start+n])
+			buf = buf[n:]
+			off += n
+		}
+		pos += e.Len
+	}
+	if len(buf) > 0 {
+		panic(fmt.Sprintf("vm: DMARead overruns request by %d bytes", len(buf)))
+	}
+}

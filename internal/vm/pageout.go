@@ -1,0 +1,108 @@
+package vm
+
+import "sort"
+
+// PageoutDaemon is the simulated pageout daemon. Its eviction rule is
+// the paper's input-disabled pageout (Section 3.2): pages with nonzero
+// input reference count are never paged out (pending DMA input would
+// make the paged-out copy inconsistent, and the application is about to
+// touch them anyway), while pages with pending *output* may be paged out
+// normally — I/O-deferred deallocation keeps their frames alive until
+// the output completes. Wired pages are skipped, which is what the
+// non-emulated semantics pay wire/unwire costs for.
+type PageoutDaemon struct {
+	sys *System
+}
+
+// NewPageoutDaemon returns a daemon for the system.
+func NewPageoutDaemon(sys *System) *PageoutDaemon { return &PageoutDaemon{sys: sys} }
+
+// EnableDemandPaging wires a pageout daemon into the physical memory
+// allocator: when the free list runs dry, the daemon reclaims a batch of
+// pages (never input-referenced or wired ones) before the allocation
+// fails. Returns the daemon for inspection.
+func (sys *System) EnableDemandPaging(batch int) *PageoutDaemon {
+	if batch <= 0 {
+		batch = 8
+	}
+	d := NewPageoutDaemon(sys)
+	sys.pm.SetReclaimer(func(need int) int {
+		return d.ScanOnce(max(need, batch))
+	})
+	return d
+}
+
+// candidate is an evictable page.
+type candidate struct {
+	obj *MemObject
+	pi  int
+}
+
+// ScanOnce attempts to reclaim up to target pages, returning the number
+// actually paged out. Eviction order is deterministic (object id, page
+// index) so simulations are reproducible.
+func (d *PageoutDaemon) ScanOnce(target int) int {
+	if target <= 0 {
+		return 0
+	}
+	var cands []candidate
+	ids := make([]int, 0, len(d.sys.objects))
+	for id := range d.sys.objects {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		obj := d.sys.objects[id]
+		pis := make([]int, 0, len(obj.pages))
+		for pi := range obj.pages {
+			pis = append(pis, pi)
+		}
+		sort.Ints(pis)
+		for _, pi := range pis {
+			f := obj.pages[pi]
+			if f.Wired() || f.InRefs() > 0 {
+				continue // input-disabled pageout; wiring
+			}
+			cands = append(cands, candidate{obj, pi})
+		}
+	}
+	n := 0
+	for _, c := range cands {
+		if n >= target {
+			break
+		}
+		d.evict(c.obj, c.pi)
+		n++
+	}
+	return n
+}
+
+// Evictable returns the number of pages the daemon would currently be
+// willing to evict. Tests use it to verify input-disabled pageout.
+func (d *PageoutDaemon) Evictable() int {
+	n := 0
+	for _, obj := range d.sys.objects {
+		for _, f := range obj.pages {
+			if !f.Wired() && f.InRefs() == 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// evict writes the page to the object's backing store, invalidates every
+// mapping, and releases the frame (deferred past pending output).
+func (d *PageoutDaemon) evict(obj *MemObject, pi int) {
+	f := obj.pages[pi]
+	if obj.backing == nil {
+		obj.backing = make(map[int][]byte)
+	}
+	data := make([]byte, len(f.Data()))
+	copy(data, f.Data())
+	obj.backing[pi] = data
+	obj.removePage(pi)
+	d.sys.invalidateFrame(f)
+	d.sys.pm.Release(f)
+	d.sys.stats.PageOuts++
+}

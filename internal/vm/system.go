@@ -1,0 +1,143 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// SysStats counts VM events since the System was created. The counters
+// let tests and ablation benches verify which mechanism handled a fault
+// (TCOW copy vs write re-enable vs conventional COW vs physical copy).
+type SysStats struct {
+	Faults           uint64 // recoverable faults handled
+	UnrecoverableFlt uint64 // faults refused (segv / hidden region)
+	ZeroFills        uint64 // pages zero-filled on demand
+	PageIns          uint64 // pages brought back from backing store
+	PageOuts         uint64 // pages evicted by the daemon
+	COWCopies        uint64 // conventional COW fault copies
+	TCOWCopies       uint64 // TCOW fault copies (output pending)
+	TCOWReenables    uint64 // TCOW faults resolved by re-enabling write
+	PhysRegionCopies uint64 // region copies forced physical by input-disabled COW
+	COWRegionSetups  uint64 // region copies set up as COW chains
+}
+
+// System is the machine-wide VM state: physical memory, every address
+// space, and the memory-object registry.
+type System struct {
+	pm        *mem.PhysMem
+	pageSize  int
+	spaces    []*AddressSpace
+	objects   map[int]*MemObject
+	nextObjID int
+	nextASID  int
+	stats     SysStats
+}
+
+// NewSystem creates a VM system over the given physical memory.
+func NewSystem(pm *mem.PhysMem) *System {
+	return &System{
+		pm:       pm,
+		pageSize: pm.PageSize(),
+		objects:  make(map[int]*MemObject),
+	}
+}
+
+// PageSize returns the system page size in bytes.
+func (sys *System) PageSize() int { return sys.pageSize }
+
+// Phys returns the underlying physical memory.
+func (sys *System) Phys() *mem.PhysMem { return sys.pm }
+
+// Stats returns a snapshot of the VM event counters.
+func (sys *System) Stats() SysStats { return sys.stats }
+
+// Spaces returns the live address spaces.
+func (sys *System) Spaces() []*AddressSpace { return sys.spaces }
+
+// NewAddressSpace creates an empty address space.
+func (sys *System) NewAddressSpace() *AddressSpace {
+	sys.nextASID++
+	as := &AddressSpace{
+		sys:   sys,
+		id:    sys.nextASID,
+		pt:    make(map[Addr]PTE),
+		base:  Addr(sys.pageSize), // leave page 0 unmapped, as any sane kernel does
+		limit: Addr(1) << 40,
+	}
+	sys.spaces = append(sys.spaces, as)
+	return as
+}
+
+// DestroySpace tears down an address space: every region is removed and
+// its pages released — with deallocation deferred past any in-flight I/O
+// (Section 3.1 names "normal or abnormal termination of the application"
+// as exactly the event that makes wiring insufficient).
+func (sys *System) DestroySpace(as *AddressSpace) {
+	for len(as.regions) > 0 {
+		_ = as.RemoveRegion(as.regions[len(as.regions)-1])
+	}
+	as.movedOutQ, as.weakMovedOutQ = nil, nil
+	for i, s := range sys.spaces {
+		if s == as {
+			sys.spaces = append(sys.spaces[:i], sys.spaces[i+1:]...)
+			break
+		}
+	}
+}
+
+// NewKernelObject creates a memory object owned by the kernel (no
+// region). System and overlay buffers are built from kernel objects.
+func (sys *System) NewKernelObject() *MemObject {
+	o := sys.newObject()
+	o.ref() // the kernel itself holds the reference
+	return o
+}
+
+// ReleaseKernelObject drops the kernel's reference, destroying the
+// object and releasing its frames (deferred while I/O references remain).
+func (sys *System) ReleaseKernelObject(o *MemObject) { o.unref() }
+
+// AllocFrameInto allocates a physical frame and attaches it as page pi
+// of object o.
+func (sys *System) AllocFrameInto(o *MemObject, pi int) (*mem.Frame, error) {
+	f, err := sys.pm.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	o.insertPage(pi, f)
+	return f, nil
+}
+
+// pageFloor rounds va down to a page boundary.
+func (sys *System) pageFloor(va Addr) Addr {
+	return va &^ Addr(sys.pageSize-1)
+}
+
+// pageCount returns the number of pages spanned by [va, va+length).
+func (sys *System) pageCount(va Addr, length int) int {
+	if length <= 0 {
+		return 0
+	}
+	first := sys.pageFloor(va)
+	last := sys.pageFloor(va + Addr(length) - 1)
+	return int((last-first)/Addr(sys.pageSize)) + 1
+}
+
+// invalidateFrame removes every page table entry in every address space
+// that maps frame f. Kernels keep reverse maps for this; the simulation
+// can afford a scan.
+func (sys *System) invalidateFrame(f *mem.Frame) {
+	for _, as := range sys.spaces {
+		for vpn, pte := range as.pt {
+			if pte.Frame == f {
+				delete(as.pt, vpn)
+			}
+		}
+	}
+}
+
+func (sys *System) String() string {
+	return fmt.Sprintf("vm.System(pageSize=%d spaces=%d objects=%d)",
+		sys.pageSize, len(sys.spaces), len(sys.objects))
+}

@@ -1,0 +1,102 @@
+// Package vm simulates the virtual memory subsystem Genie is built on
+// (Brustoloni & Steenkiste, OSDI '96, Sections 3-5).
+//
+// It provides address spaces composed of regions, each backed by a memory
+// object; page tables with read/write permissions; a software fault
+// handler implementing conventional copy-on-write, Genie's transient
+// output copy-on-write (TCOW), and region hiding; region caching for the
+// (weak) move semantics; page referencing with I/O-deferred deallocation
+// and input-disabled COW; and a pageout daemon with input-disabled
+// pageout.
+//
+// All of these mechanisms operate on the simulated physical memory of
+// package mem, so the integrity guarantees of each buffering semantics
+// (and their violations) are directly observable by tests.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Addr is a virtual address.
+type Addr uint64
+
+// Prot is a page protection bit set.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+	ProtRW         = ProtRead | ProtWrite
+)
+
+// CanRead reports whether p permits reads.
+func (p Prot) CanRead() bool { return p&ProtRead != 0 }
+
+// CanWrite reports whether p permits writes.
+func (p Prot) CanWrite() bool { return p&ProtWrite != 0 }
+
+func (p Prot) String() string {
+	s := [2]byte{'-', '-'}
+	if p.CanRead() {
+		s[0] = 'r'
+	}
+	if p.CanWrite() {
+		s[1] = 'w'
+	}
+	return string(s[:])
+}
+
+// Errors reported by the VM system.
+var (
+	// ErrFault is an unrecoverable VM fault: an access outside any
+	// region, or inside a region hidden by move semantics.
+	ErrFault = errors.New("vm: unrecoverable fault")
+	// ErrNoSpace means no free virtual address range was found.
+	ErrNoSpace = errors.New("vm: no free address range")
+	// ErrBadRegion reports an operation on a region in the wrong state.
+	ErrBadRegion = errors.New("vm: region in wrong state for operation")
+)
+
+// RegionState is the state machine from the paper's Sections 2.1, 2.2
+// and 4: system-allocated regions move between moved in and (weakly)
+// moved out; unmovable regions (heap, stack) never participate.
+type RegionState int
+
+// Region states.
+const (
+	Unmovable RegionState = iota
+	MovedIn
+	MovingOut
+	MovedOut
+	WeaklyMovedOut
+	MovingIn
+)
+
+var regionStateNames = [...]string{
+	"unmovable", "moved-in", "moving-out", "moved-out", "weakly-moved-out", "moving-in",
+}
+
+func (s RegionState) String() string {
+	if int(s) < len(regionStateNames) {
+		return regionStateNames[s]
+	}
+	return fmt.Sprintf("RegionState(%d)", int(s))
+}
+
+// Accessible reports whether the fault handler is allowed to recover
+// faults in a region with this state. Faults in any other state are
+// unrecoverable — that is what makes region hiding (Section 4) behave,
+// from the application's point of view, exactly like region removal.
+func (s RegionState) Accessible() bool { return s == Unmovable || s == MovedIn }
+
+// PTE is a page table entry.
+type PTE struct {
+	Frame *mem.Frame
+	Prot  Prot
+}
