@@ -13,6 +13,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/netsim"
+	"repro/internal/sim"
 )
 
 // benchSemantics runs one transfer per iteration and reports the
@@ -207,6 +208,59 @@ func BenchmarkAblationChecksum(b *testing.B) {
 		if _, err := experiments.AblationChecksum(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Performance of the reproduction itself: the following benchmarks time
+// the harness, not the simulated hardware. BenchmarkSweepSerial and
+// BenchmarkSweepParallel regenerate the same Figure 3 sweep (8 semantics
+// × 15 page-multiple lengths, one testbed per point) with the worker
+// pool pinned to 1 worker versus GOMAXPROCS; on a 4+ core machine the
+// parallel run should be at least 2x faster, and its output is
+// byte-identical (see TestParallelMatchesSerialFigure3).
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	prev := experiments.Parallelism()
+	experiments.SetParallelism(workers)
+	defer experiments.SetParallelism(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(experiments.Setup{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkMeasureAllocs reports heap allocations per measurement point:
+// the simulator's event free list and the harness's recycled
+// payload/verify buffers keep the per-point allocation count flat in the
+// datagram length.
+func BenchmarkMeasureAllocs(b *testing.B) {
+	s := experiments.Setup{Scheme: netsim.EarlyDemux}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Measure(s, core.EmulatedCopy, 61440); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScheduleLoop exercises the simulator's schedule/fire
+// hot path through the public API; the event pool keeps it at zero
+// allocs/op in steady state (see also internal/sim's
+// BenchmarkEngineSchedule).
+func BenchmarkEngineScheduleLoop(b *testing.B) {
+	e := sim.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, fn)
+		e.Step()
 	}
 }
 

@@ -3,49 +3,195 @@
 //
 // Usage:
 //
-//	geniebench            # everything
-//	geniebench -figures   # Figures 3-7 and the outboard prediction
-//	geniebench -tables    # Tables 1, 5, 6, 7, 8 and the OC-12 prediction
-//	geniebench -ablations # ablations of Genie's design choices
+//	geniebench              # everything
+//	geniebench -figures     # Figures 3-7 and the outboard prediction
+//	geniebench -tables      # Tables 1, 5, 6, 7, 8 and the OC-12 prediction
+//	geniebench -ablations   # ablations of Genie's design choices
+//	geniebench -parallel 4  # fan measurement points across 4 workers
+//	geniebench -json out.json  # machine-readable results + wall-clock
+//
+// Measurement points fan out across -parallel worker goroutines
+// (default: GOMAXPROCS). -parallel 1 reproduces the serial path
+// bit-for-bit; any worker count produces identical output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/experiments"
 )
+
+// generator is one named figure or table producer.
+type generator struct {
+	name    string
+	section string // "figures", "tables", or "ablations"
+	fig     func() (experiments.Figure, error)
+	tab     func() (experiments.Table, error)
+}
+
+// result is one generator's outcome, as written to the -json report.
+type result struct {
+	Name    string              `json:"name"`
+	Section string              `json:"section"`
+	WallMS  float64             `json:"wall_ms"`
+	Figure  *experiments.Figure `json:"figure,omitempty"`
+	Table   *experiments.Table  `json:"table,omitempty"`
+}
+
+// report is the top-level -json document, written so future PRs can
+// track both the reproduced numbers and the harness's own wall-clock.
+type report struct {
+	Parallelism int      `json:"parallelism"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	TotalWallMS float64  `json:"total_wall_ms"`
+	Results     []result `json:"results"`
+}
+
+// generators lists every figure, table, and ablation in print order.
+func generators() []generator {
+	fig := func(name string, f func(experiments.Setup) (experiments.Figure, error)) generator {
+		return generator{name: name, section: "figures",
+			fig: func() (experiments.Figure, error) { return f(experiments.Setup{}) }}
+	}
+	tabS := func(name, section string, f func(experiments.Setup) (experiments.Table, error)) generator {
+		return generator{name: name, section: section,
+			tab: func() (experiments.Table, error) { return f(experiments.Setup{}) }}
+	}
+	tab := func(name, section string, f func() (experiments.Table, error)) generator {
+		return generator{name: name, section: section, tab: f}
+	}
+	return []generator{
+		fig("Figure 3", experiments.Figure3),
+		fig("Figure 4", experiments.Figure4),
+		fig("Figure 5", experiments.Figure5),
+		fig("Figure 6", experiments.Figure6),
+		fig("Figure 7", experiments.Figure7),
+		fig("Outboard (predicted)", experiments.FigureOutboard),
+		tabS("Figure 3 (throughput)", "figures", experiments.Figure3Throughput),
+		tab("Table 1", "tables", func() (experiments.Table, error) { return experiments.Table1(), nil }),
+		tab("Table 5", "tables", func() (experiments.Table, error) { return experiments.Table5(), nil }),
+		tabS("Table 6", "tables", experiments.Table6),
+		tabS("Table 7", "tables", experiments.Table7),
+		tab("Table 8", "tables", experiments.Table8),
+		tab("OC-12 prediction", "tables", experiments.TableOC12),
+		tab("Throughput (OC-3)", "tables", func() (experiments.Table, error) {
+			return experiments.TableThroughput(cost.CreditNetOC3)
+		}),
+		tab("Throughput (OC-12)", "tables", func() (experiments.Table, error) {
+			return experiments.TableThroughput(cost.CreditNetOC12)
+		}),
+		tab("Ablation: wiring", "ablations", experiments.AblationWiring),
+		tab("Ablation: alignment", "ablations", experiments.AblationAlignment),
+		tab("Ablation: thresholds", "ablations", experiments.AblationThresholds),
+		tab("Ablation: reverse copyout", "ablations", experiments.AblationReverseCopyout),
+		tab("Ablation: output protection", "ablations", experiments.AblationOutputProtection),
+		tab("Ablation: checksum", "ablations", experiments.AblationChecksum),
+		tab("Ablation: pageout", "ablations", experiments.AblationPageout),
+	}
+}
+
+// run executes one generator, timing its wall clock.
+func (g generator) run() (result, error) {
+	r := result{Name: g.name, Section: g.section}
+	start := time.Now()
+	switch {
+	case g.fig != nil:
+		f, err := g.fig()
+		if err != nil {
+			return result{}, fmt.Errorf("%s: %w", g.name, err)
+		}
+		r.Figure = &f
+	default:
+		t, err := g.tab()
+		if err != nil {
+			return result{}, fmt.Errorf("%s: %w", g.name, err)
+		}
+		r.Table = &t
+	}
+	r.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	return r, nil
+}
+
+func (r result) render() {
+	if r.Figure != nil {
+		r.Figure.Render(os.Stdout)
+	} else if r.Table != nil {
+		r.Table.Render(os.Stdout)
+	}
+	fmt.Println()
+}
 
 func main() {
 	figures := flag.Bool("figures", false, "regenerate the figures only")
 	tables := flag.Bool("tables", false, "regenerate the tables only")
 	ablations := flag.Bool("ablations", false, "run the ablations only")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines per sweep (1 = serial)")
+	jsonPath := flag.String("json", "",
+		"write every figure/table plus wall-clock per generator as JSON to this path")
 	flag.Parse()
 	all := !*figures && !*tables && !*ablations
+
+	experiments.SetParallelism(*parallel)
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir); err != nil {
 			fail(err)
 		}
 	}
-	if all || *figures {
-		if err := printFigures(); err != nil {
-			fail(err)
+
+	wantSection := func(section string) bool {
+		switch section {
+		case "figures":
+			return all || *figures
+		case "tables":
+			return all || *tables
+		default:
+			return all || *ablations
 		}
 	}
-	if all || *tables {
-		if err := printTables(); err != nil {
+
+	start := time.Now()
+	var results []result
+	for _, g := range generators() {
+		// -json tracks every generator; printing honors the section flags.
+		if *jsonPath == "" && !wantSection(g.section) {
+			continue
+		}
+		r, err := g.run()
+		if err != nil {
 			fail(err)
+		}
+		results = append(results, r)
+		if wantSection(g.section) {
+			r.render()
 		}
 	}
-	if all || *ablations {
-		if err := printAblations(); err != nil {
+
+	if *jsonPath != "" {
+		rep := report{
+			Parallelism: *parallel,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			TotalWallMS: float64(time.Since(start).Microseconds()) / 1000,
+			Results:     results,
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
 			fail(err)
 		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "geniebench: wrote %s (%d generators, %.0f ms total)\n",
+			*jsonPath, len(results), rep.TotalWallMS)
 	}
 }
 
@@ -79,94 +225,6 @@ func writeCSVs(dir string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-	}
-	return nil
-}
-
-func printFigures() error {
-	var s experiments.Setup
-	for _, gen := range []func(experiments.Setup) (experiments.Figure, error){
-		experiments.Figure3, experiments.Figure4, experiments.Figure5,
-		experiments.Figure6, experiments.Figure7, experiments.FigureOutboard,
-	} {
-		fig, err := gen(s)
-		if err != nil {
-			return err
-		}
-		fig.Render(os.Stdout)
-		fmt.Println()
-	}
-	thr, err := experiments.Figure3Throughput(s)
-	if err != nil {
-		return err
-	}
-	thr.Render(os.Stdout)
-	fmt.Println()
-	return nil
-}
-
-func printTables() error {
-	experiments.Table1().Render(os.Stdout)
-	fmt.Println()
-	experiments.Table5().Render(os.Stdout)
-	fmt.Println()
-
-	var s experiments.Setup
-	t6, err := experiments.Table6(s)
-	if err != nil {
-		return err
-	}
-	t6.Render(os.Stdout)
-	fmt.Println()
-
-	t7, err := experiments.Table7(s)
-	if err != nil {
-		return err
-	}
-	t7.Render(os.Stdout)
-	fmt.Println()
-
-	t8, err := experiments.Table8()
-	if err != nil {
-		return err
-	}
-	t8.Render(os.Stdout)
-	fmt.Println()
-
-	oc12, err := experiments.TableOC12()
-	if err != nil {
-		return err
-	}
-	oc12.Render(os.Stdout)
-	fmt.Println()
-
-	for _, net := range []cost.Network{cost.CreditNetOC3, cost.CreditNetOC12} {
-		tp, err := experiments.TableThroughput(net)
-		if err != nil {
-			return err
-		}
-		tp.Render(os.Stdout)
-		fmt.Println()
-	}
-	return nil
-}
-
-func printAblations() error {
-	for _, gen := range []func() (experiments.Table, error){
-		experiments.AblationWiring,
-		experiments.AblationAlignment,
-		experiments.AblationThresholds,
-		experiments.AblationReverseCopyout,
-		experiments.AblationOutputProtection,
-		experiments.AblationChecksum,
-		experiments.AblationPageout,
-	} {
-		t, err := gen()
-		if err != nil {
-			return err
-		}
-		t.Render(os.Stdout)
-		fmt.Println()
 	}
 	return nil
 }

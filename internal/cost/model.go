@@ -24,6 +24,12 @@ func (l Linear) String() string {
 
 // Model holds the primitive-operation costs and base-latency parameters
 // for one platform and network configuration.
+//
+// A Model is immutable after construction: NewModel fills every field and
+// nothing mutates one afterwards, so a single *Model — including the
+// shared Baseline — is safe to read concurrently from any number of
+// testbeds and experiment workers without locking. Variants are derived
+// by value (WithOpModel, Clone), never by mutating a shared instance.
 type Model struct {
 	Platform Platform
 	Net      Network
@@ -54,8 +60,14 @@ func (m *Model) Cost(op Op, b int) sim.Duration { return m.ops[op].Eval(b) }
 // OpModel returns the linear model for op.
 func (m *Model) OpModel(op Op) Linear { return m.ops[op] }
 
-// SetOpModel overrides the linear model for op (used by ablations).
-func (m *Model) SetOpModel(op Op, l Linear) { m.ops[op] = l }
+// WithOpModel returns a copy of the model with the linear model for op
+// overridden (used by ablations). The receiver is left untouched, which
+// keeps shared models immutable.
+func (m *Model) WithOpModel(op Op, l Linear) *Model {
+	c := *m
+	c.ops[op] = l
+	return &c
+}
 
 // Base returns the base-latency linear model: the end-to-end cost that
 // is independent of buffering semantics (application-kernel crossings,
@@ -188,6 +200,12 @@ func NewModel(p Platform, n Network) *Model {
 	return m
 }
 
+// baseline is the shared reference model. Models are immutable after
+// construction, so one instance serves every testbed; this removes a
+// Model construction from the per-measurement hot path.
+var baseline = NewModel(MicronP166, CreditNetOC3)
+
 // Baseline returns the paper's reference configuration: Micron P166 over
-// Credit Net ATM at OC-3.
-func Baseline() *Model { return NewModel(MicronP166, CreditNetOC3) }
+// Credit Net ATM at OC-3. The returned model is shared and must not be
+// mutated; derive variants with WithOpModel or Clone.
+func Baseline() *Model { return baseline }

@@ -214,10 +214,45 @@ func TestOutboardDMADoesNotScale(t *testing.T) {
 
 func TestCloneIsolation(t *testing.T) {
 	a := Baseline()
-	b := a.Clone()
-	b.SetOpModel(Swap, Linear{1, 1})
+	b := a.WithOpModel(Swap, Linear{1, 1})
 	if a.OpModel(Swap).PerByte == 1 {
-		t.Fatal("Clone shares op table with original")
+		t.Fatal("WithOpModel mutated the original's op table")
+	}
+	if b.OpModel(Swap).PerByte != 1 {
+		t.Fatal("WithOpModel did not apply the override")
+	}
+	c := a.Clone()
+	if c == a || c.OpModel(Swap) != a.OpModel(Swap) {
+		t.Fatal("Clone must copy the op table")
+	}
+}
+
+// TestBaselineSharedReadOnly locks in that the shared Baseline model is
+// safe to read concurrently (meaningful under -race): many goroutines
+// price operations on the same instance while others derive variants.
+func TestBaselineSharedReadOnly(t *testing.T) {
+	m := Baseline()
+	if Baseline() != m {
+		t.Fatal("Baseline must return the shared instance")
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				_ = m.Cost(Copyout, 4096)
+				_ = m.OpModel(Swap)
+				_ = m.Base()
+				_ = m.BaseLatency(61440)
+				if i%100 == 0 {
+					_ = m.WithOpModel(Swap, Linear{1, 1})
+					_ = m.Clone()
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
 	}
 }
 

@@ -29,25 +29,32 @@ func AblationWiring() (Table, error) {
 		{core.Share, core.EmulatedShare},
 		{core.WeakMove, core.EmulatedWeakMove},
 	}
-	for _, pair := range pairs {
-		for _, b := range []int{4096, 61440} {
-			mw, err := Measure(s, pair.wired, b)
-			if err != nil {
-				return Table{}, err
-			}
-			mu, err := Measure(s, pair.unwired, b)
-			if err != nil {
-				return Table{}, err
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%v -> %v", pair.wired, pair.unwired),
-				fmt.Sprint(b),
-				fmt.Sprintf("%.0f", mw.LatencyUS),
-				fmt.Sprintf("%.0f", mu.LatencyUS),
-				fmt.Sprintf("%.0f", mw.LatencyUS-mu.LatencyUS),
-			})
+	lengths := []int{4096, 61440}
+	rows := make([][]string, len(pairs)*len(lengths))
+	err := runner().ForEach(len(rows), func(i int) error {
+		pair := pairs[i/len(lengths)]
+		b := lengths[i%len(lengths)]
+		mw, err := Measure(s, pair.wired, b)
+		if err != nil {
+			return err
 		}
+		mu, err := Measure(s, pair.unwired, b)
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{
+			fmt.Sprintf("%v -> %v", pair.wired, pair.unwired),
+			fmt.Sprint(b),
+			fmt.Sprintf("%.0f", mw.LatencyUS),
+			fmt.Sprintf("%.0f", mu.LatencyUS),
+			fmt.Sprintf("%.0f", mw.LatencyUS-mu.LatencyUS),
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -63,24 +70,32 @@ func AblationAlignment() (Table, error) {
 	off := core.DefaultConfig()
 	on := core.DefaultConfig()
 	off.SystemAlignment = false
-	for _, b := range []int{8192, 24576, 61440} {
+	lengths := []int{8192, 24576, 61440}
+	rows := make([][]string, len(lengths))
+	err := runner().ForEach(len(lengths), func(i int) error {
+		b := lengths[i]
 		// App buffer at page offset 1000: only system alignment makes
 		// swapping possible.
 		mOn, err := Measure(Setup{Scheme: netsim.EarlyDemux, AppOffset: 1000, Genie: on}, core.EmulatedCopy, b)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		mOff, err := Measure(Setup{Scheme: netsim.EarlyDemux, AppOffset: 1000, Genie: off}, core.EmulatedCopy, b)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			fmt.Sprint(b),
 			fmt.Sprintf("%.0f", mOn.LatencyUS),
 			fmt.Sprintf("%.0f", mOff.LatencyUS),
 			fmt.Sprintf("%.0f", mOff.LatencyUS-mOn.LatencyUS),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -99,18 +114,40 @@ func AblationThresholds() (Table, error) {
 		c.EmCopyOutputThreshold = threshold
 		return c
 	}
-	for _, b := range []int{256, 1024, 1536, 2048, 4096} {
-		row := []string{fmt.Sprint(b)}
-		for _, th := range []int{0, 1666, 4096} {
-			m, err := Measure(Setup{Scheme: netsim.EarlyDemux, Genie: mk(th)}, core.EmulatedCopy, b)
-			if err != nil {
-				return Table{}, err
-			}
-			row = append(row, fmt.Sprintf("%.0f", m.LatencyUS))
-		}
-		t.Rows = append(t.Rows, row)
+	rows, err := thresholdRows([]int{256, 1024, 1536, 2048, 4096}, []int{0, 1666, 4096}, mk)
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
+}
+
+// thresholdRows measures emulated copy across a lengths × thresholds
+// grid, one worker task per grid cell, and assembles one row per length.
+func thresholdRows(lengths, thresholds []int, mk func(threshold int) core.Config) ([][]string, error) {
+	lats := make([]float64, len(lengths)*len(thresholds))
+	err := runner().ForEach(len(lats), func(i int) error {
+		b := lengths[i/len(thresholds)]
+		th := thresholds[i%len(thresholds)]
+		m, err := Measure(Setup{Scheme: netsim.EarlyDemux, Genie: mk(th)}, core.EmulatedCopy, b)
+		if err != nil {
+			return err
+		}
+		lats[i] = m.LatencyUS
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, len(lengths))
+	for li, b := range lengths {
+		row := []string{fmt.Sprint(b)}
+		for ti := range thresholds {
+			row = append(row, fmt.Sprintf("%.0f", lats[li*len(thresholds)+ti]))
+		}
+		rows[li] = row
+	}
+	return rows, nil
 }
 
 // AblationReverseCopyout sweeps the reverse copyout threshold: set to a
@@ -127,17 +164,11 @@ func AblationReverseCopyout() (Table, error) {
 		c.ReverseCopyoutThreshold = threshold
 		return c
 	}
-	for _, b := range []int{1800, 2048, 2500, 3000, 3800} {
-		row := []string{fmt.Sprint(b)}
-		for _, th := range []int{1, 2178, 4097} {
-			m, err := Measure(Setup{Scheme: netsim.EarlyDemux, Genie: mk(th)}, core.EmulatedCopy, b)
-			if err != nil {
-				return Table{}, err
-			}
-			row = append(row, fmt.Sprintf("%.0f", m.LatencyUS))
-		}
-		t.Rows = append(t.Rows, row)
+	rows, err := thresholdRows([]int{1800, 2048, 2500, 3000, 3800}, []int{1, 2178, 4097}, mk)
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -152,57 +183,65 @@ func AblationOutputProtection() (Table, error) {
 		Header: []string{"scheme", "latency us", "copies", "output intact"},
 	}
 	const length = 4 * 4096
-	for _, sem := range []core.Semantics{core.Copy, core.EmulatedCopy, core.EmulatedShare} {
+	sems := []core.Semantics{core.Copy, core.EmulatedCopy, core.EmulatedShare}
+	rows := make([][]string, len(sems))
+	err := runner().ForEach(len(sems), func(i int) error {
+		sem := sems[i]
 		tb, err := core.NewTestbed(core.TestbedConfig{Buffering: netsim.EarlyDemux})
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		sender := tb.A.Genie.NewProcess()
 		receiver := tb.B.Genie.NewProcess()
 		srcVA, err := sender.Brk(length)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		dstVA, err := receiver.Brk(length)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		orig := bytes.Repeat([]byte{0x5C}, length)
 		if err := sender.Write(srcVA, orig); err != nil {
-			return Table{}, err
+			return err
 		}
 		in, err := receiver.Input(1, sem, dstVA, length)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		out, err := sender.Output(1, sem, srcVA, length)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		// The application overwrites every page while output is pending.
 		if err := sender.Write(srcVA, bytes.Repeat([]byte{0xE1}, length)); err != nil {
-			return Table{}, err
+			return err
 		}
 		tb.Run()
 		if out.Err != nil || in.Err != nil {
-			return Table{}, fmt.Errorf("ablation transfer failed: %v %v", out.Err, in.Err)
+			return fmt.Errorf("ablation transfer failed: %v %v", out.Err, in.Err)
 		}
 		got := make([]byte, length)
 		if err := receiver.Read(in.Addr, got); err != nil {
-			return Table{}, err
+			return err
 		}
 		intact := bytes.Equal(got, orig)
 		copies := tb.A.Sys.Stats().TCOWCopies
 		if sem == core.Copy {
 			copies = 1 // the eager copyin
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			sem.String(),
 			fmt.Sprintf("%.0f", in.CompletedAt.Sub(out.StartedAt).Micros()),
 			fmt.Sprint(copies),
 			fmt.Sprint(intact),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -262,7 +301,7 @@ func AblationChecksum() (Table, error) {
 		}
 		return m.LatencyUS, bytes.Equal(got, sentinel), nil
 	}
-	for _, c := range []struct {
+	cases := []struct {
 		label string
 		mode  core.ChecksumMode
 		sem   core.Semantics
@@ -270,13 +309,21 @@ func AblationChecksum() (Table, error) {
 		{"copy + separate pass", core.ChecksumSeparate, core.Copy},
 		{"copy + integrated (read&write)", core.ChecksumIntegrated, core.Copy},
 		{"emulated copy + read pass", core.ChecksumSeparate, core.EmulatedCopy},
-	} {
+	}
+	rows := make([][]string, len(cases))
+	err := runner().ForEach(len(cases), func(i int) error {
+		c := cases[i]
 		lat, intact, err := run(c.mode, c.sem)
 		if err != nil {
-			return Table{}, fmt.Errorf("%s: %w", c.label, err)
+			return fmt.Errorf("%s: %w", c.label, err)
 		}
-		t.Rows = append(t.Rows, []string{c.label, fmt.Sprintf("%.0f", lat), fmt.Sprint(intact)})
+		rows[i] = []string{c.label, fmt.Sprintf("%.0f", lat), fmt.Sprint(intact)}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -8,16 +8,30 @@ import (
 )
 
 // sweepFigure measures all eight semantics over lengths under one setup
-// and packages the chosen metric as a figure.
+// and packages the chosen metric as a figure. The (semantics, length)
+// points fan out across the worker pool as one flat index space —
+// semantics-major, matching the serial iteration order — and the series
+// are assembled by index, so the figure is identical to the serial one.
 func sweepFigure(s Setup, id, title, ylabel string, lengths []int, metric func(Measurement) float64) (Figure, error) {
 	fig := Figure{ID: id, Title: title, YLabel: ylabel}
-	for _, sem := range core.AllSemantics() {
-		ms, err := Sweep(s, sem, lengths)
+	sems := core.AllSemantics()
+	nL := len(lengths)
+	ms := make([]Measurement, len(sems)*nL)
+	err := runner().ForEach(len(ms), func(i int) error {
+		m, err := Measure(s, sems[i/nL], lengths[i%nL])
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
+		ms[i] = m
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for si, sem := range sems {
 		series := Series{Label: sem.String()}
-		for _, m := range ms {
+		for li := 0; li < nL; li++ {
+			m := ms[si*nL+li]
 			series.Points = append(series.Points, Point{Bytes: m.Bytes, Value: metric(m)})
 		}
 		fig.Series = append(fig.Series, series)
@@ -43,17 +57,25 @@ func Figure3Throughput(s Setup) (Table, error) {
 		Title:  "Equivalent throughput for single 60 KB datagrams, early demultiplexing",
 		Header: []string{"semantics", "measured Mbps", "paper Mbps"},
 	}
-	for _, sem := range core.AllSemantics() {
+	sems := core.AllSemantics()
+	rows := make([][]string, len(sems))
+	err := runner().ForEach(len(sems), func(i int) error {
+		sem := sems[i]
 		m, err := Measure(s, sem, maxDatagram(s))
 		if err != nil {
-			return Table{}, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			sem.String(),
 			fmt.Sprintf("%.0f", m.ThroughputMbps()),
 			fmt.Sprintf("%.0f", PaperFig3ThroughputMbps[sem]),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -34,12 +35,35 @@ type Setup struct {
 	Instrument bool
 }
 
+// model resolves the setup's cost model. Models are immutable after
+// construction (see cost.Model), so the shared baseline — and any model
+// stored in a Setup — is safe to read from every worker concurrently.
 func (s Setup) model() *cost.Model {
 	if s.Model == nil {
 		return cost.Baseline()
 	}
 	return s.Model
 }
+
+// bufPool recycles the payload and verification buffers across
+// measurement points. Each Measure call needed two make([]byte, length)
+// allocations; with sweeps running thousands of points, recycling keeps
+// the harness hot path allocation-free. sync.Pool gives each worker its
+// own cached buffers without locking.
+var bufPool sync.Pool
+
+// getBuf returns a length-n buffer with arbitrary contents.
+func getBuf(n int) []byte {
+	if v := bufPool.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBuf recycles a buffer obtained from getBuf.
+func putBuf(b []byte) { bufPool.Put(&b) }
 
 // Measurement is the outcome of one datagram transfer.
 type Measurement struct {
@@ -90,7 +114,8 @@ func Measure(s Setup, sem core.Semantics, length int) (Measurement, error) {
 	receiver := tb.B.Genie.NewProcess()
 	ps := tb.Model.Platform.PageSize
 
-	payload := make([]byte, length)
+	payload := getBuf(length)
+	defer putBuf(payload)
 	for i := range payload {
 		payload[i] = byte(i)
 	}
@@ -123,7 +148,8 @@ func Measure(s Setup, sem core.Semantics, length int) (Measurement, error) {
 		return Measurement{}, fmt.Errorf("experiments: %v %dB: %w", sem, length, err)
 	}
 	// Verify delivery: a latency number for a broken transfer is noise.
-	got := make([]byte, in.N)
+	got := getBuf(in.N)
+	defer putBuf(got)
 	if err := receiver.Read(in.Addr, got); err != nil {
 		return Measurement{}, err
 	}
@@ -163,15 +189,21 @@ func ShortSweep() []int {
 		2304, 2560, 3072, 3584, 4096, 5120, 6144, 7168, 8192}
 }
 
-// Sweep measures one semantics across the given lengths.
+// Sweep measures one semantics across the given lengths, fanning the
+// points across the package worker pool. Results are index-ordered, so
+// the output is identical to the serial loop.
 func Sweep(s Setup, sem core.Semantics, lengths []int) ([]Measurement, error) {
-	out := make([]Measurement, 0, len(lengths))
-	for _, b := range lengths {
-		m, err := Measure(s, sem, b)
+	out := make([]Measurement, len(lengths))
+	err := runner().ForEach(len(lengths), func(i int) error {
+		m, err := Measure(s, sem, lengths[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, m)
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

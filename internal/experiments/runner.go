@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner fans independent measurement points across a pool of worker
+// goroutines. Every point in the harness — one (Setup, Semantics, length)
+// tuple — builds its own testbed on its own simulation engine, so points
+// are embarrassingly parallel; the only shared state is the immutable
+// cost model. Results are assembled by index, which makes the parallel
+// output identical to the serial one regardless of worker interleaving.
+type Runner struct {
+	// Workers is the number of concurrent workers; <= 0 means
+	// runtime.GOMAXPROCS(0). Workers == 1 reproduces the serial path
+	// bit-for-bit (the loop runs inline, no goroutines).
+	Workers int
+}
+
+// workers resolves the effective worker count for n points.
+func (r Runner) workers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls across the
+// worker pool. fn must write its result into caller-owned, index-i
+// storage; distinct indices never race. The returned error is
+// deterministic: among all failing indices, the error of the lowest one —
+// exactly the error the serial loop would have returned. Indices beyond
+// the first observed failure may be skipped.
+func (r Runner) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if r.workers(n) == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		mu     sync.Mutex
+		errIdx = n
+		first  error
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	for k := r.workers(n); k > 0; k-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				failed := i > errIdx
+				mu.Unlock()
+				if failed {
+					// An earlier index already failed; later work can
+					// be abandoned without changing the outcome.
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// defaultWorkers is the package-wide worker count: 0 selects
+// runtime.GOMAXPROCS(0). cmd/geniebench sets it from -parallel.
+var defaultWorkers atomic.Int32
+
+// SetParallelism sets the worker count used by every sweep, table, and
+// ablation generator in this package. n == 1 restores strictly serial
+// execution; n <= 0 selects runtime.GOMAXPROCS(0).
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// Parallelism reports the configured worker count (0 = GOMAXPROCS).
+func Parallelism() int { return int(defaultWorkers.Load()) }
+
+// runner returns the package-default Runner.
+func runner() Runner { return Runner{Workers: Parallelism()} }

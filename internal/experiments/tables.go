@@ -61,32 +61,48 @@ func Table5() Table {
 
 // fitOps runs instrumented sweeps across the three buffering
 // configurations and least-squares fits latency versus byte count for
-// every primitive operation observed, recovering Table 6.
+// every primitive operation observed, recovering Table 6. The
+// (configuration, semantics, length) points fan out across the worker
+// pool; the per-point records are appended to the sample sets in index
+// order, which is exactly the serial collection order, so the fits are
+// identical to the serial path.
 func fitOps(s Setup, lengths []int) (map[cost.Op]stats.Fit, error) {
-	samples := make(map[cost.Op][][2]float64)
-	collect := func(s Setup) error {
-		s.Instrument = true
+	type fitPoint struct {
+		s   Setup
+		sem core.Semantics
+		b   int
+	}
+	var points []fitPoint
+	for _, cfg := range []Setup{
+		{Model: s.Model, Scheme: netsim.EarlyDemux},
+		{Model: s.Model, Scheme: netsim.Pooled},
+		{Model: s.Model, Scheme: netsim.Pooled, AppOffset: 1000},
+	} {
+		cfg.Instrument = true
 		for _, sem := range core.AllSemantics() {
 			for _, b := range lengths {
-				m, err := Measure(s, sem, b)
-				if err != nil {
-					return err
-				}
-				for _, r := range m.Records {
-					samples[r.Op] = append(samples[r.Op], [2]float64{float64(r.Bytes), r.Latency.Micros()})
-				}
+				points = append(points, fitPoint{cfg, sem, b})
 			}
 		}
+	}
+	records := make([][]core.OpRecord, len(points))
+	err := runner().ForEach(len(points), func(i int) error {
+		p := points[i]
+		m, err := Measure(p.s, p.sem, p.b)
+		if err != nil {
+			return err
+		}
+		records[i] = m.Records
 		return nil
-	}
-	if err := collect(Setup{Model: s.Model, Scheme: netsim.EarlyDemux}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := collect(Setup{Model: s.Model, Scheme: netsim.Pooled}); err != nil {
-		return nil, err
-	}
-	if err := collect(Setup{Model: s.Model, Scheme: netsim.Pooled, AppOffset: 1000}); err != nil {
-		return nil, err
+	samples := make(map[cost.Op][][2]float64)
+	for _, recs := range records {
+		for _, r := range recs {
+			samples[r.Op] = append(samples[r.Op], [2]float64{float64(r.Bytes), r.Latency.Micros()})
+		}
 	}
 
 	fits := make(map[cost.Op]stats.Fit)
@@ -318,7 +334,12 @@ func Table7(s Setup) (Table, error) {
 		}
 		return PaperTable7Row{}
 	}
-	for _, sem := range core.AllSemantics() {
+	// One task per semantics: each produces its E and A row pair, and the
+	// three actual-latency fits inside fan their sweeps out in turn.
+	sems := core.AllSemantics()
+	rowPairs := make([][2][]string, len(sems))
+	err = runner().ForEach(len(sems), func(i int) error {
+		sem := sems[i]
 		pr := paperRow(sem)
 		sysAligned := sem.SystemAllocated() // unaffected by app alignment
 
@@ -327,28 +348,34 @@ func Table7(s Setup) (Table, error) {
 		estU := estimateFit(opFits, base, sem, netsim.Pooled, sysAligned)
 		actE, err := latencyFit(early, sem, lengths)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		actP, err := latencyFit(aligned, sem, lengths)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		actU, err := latencyFit(unaligned, sem, lengths)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		rowPairs[i] = [2][]string{{
 			sem.String(), "E",
 			fmtFit(estE.Slope, estE.Intercept), fmtFit(pr.EarlyE.PerByte, pr.EarlyE.Fixed),
 			fmtFit(estP.Slope, estP.Intercept), fmtFit(pr.AlignedE.PerByte, pr.AlignedE.Fixed),
 			fmtFit(estU.Slope, estU.Intercept), fmtFit(pr.UnalignedE.PerByte, pr.UnalignedE.Fixed),
-		})
-		t.Rows = append(t.Rows, []string{
+		}, {
 			"", "A",
 			fmtFit(actE.Slope, actE.Intercept), fmtFit(pr.EarlyA.PerByte, pr.EarlyA.Fixed),
 			fmtFit(actP.Slope, actP.Intercept), fmtFit(pr.AlignedA.PerByte, pr.AlignedA.Fixed),
 			fmtFit(actU.Slope, actU.Intercept), fmtFit(pr.UnalignedA.PerByte, pr.UnalignedA.Fixed),
-		})
+		}}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for _, pair := range rowPairs {
+		t.Rows = append(t.Rows, pair[0], pair[1])
 	}
 	return t, nil
 }
@@ -456,16 +483,24 @@ func TableOC12() (Table, error) {
 		Title:  "Predicted throughput for single 60 KB datagrams at OC-12 (622 Mbps), early demultiplexing",
 		Header: []string{"semantics", "predicted Mbps", "paper Mbps"},
 	}
-	for _, sem := range core.AllSemantics() {
+	sems := core.AllSemantics()
+	rows := make([][]string, len(sems))
+	err := runner().ForEach(len(sems), func(i int) error {
+		sem := sems[i]
 		m, err := Measure(s, sem, maxDatagram(s))
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		paper := ""
 		if v, ok := PaperOC12ThroughputMbps[sem]; ok {
 			paper = fmt.Sprintf("%.0f", v)
 		}
-		t.Rows = append(t.Rows, []string{sem.String(), fmt.Sprintf("%.0f", m.ThroughputMbps()), paper})
+		rows[i] = []string{sem.String(), fmt.Sprintf("%.0f", m.ThroughputMbps()), paper}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }

@@ -170,19 +170,27 @@ func TableThroughput(net cost.Network) (Table, error) {
 		Title:  fmt.Sprintf("Sustained streaming throughput, 60 KB datagrams at %.0f Mbps", net.RateMbps),
 		Header: []string{"semantics", "sustained Mbps", "wire us", "sender us", "spacing us", "bottleneck"},
 	}
-	for _, sem := range core.AllSemantics() {
+	sems := core.AllSemantics()
+	rows := make([][]string, len(sems))
+	err := runner().ForEach(len(sems), func(i int) error {
+		sem := sems[i]
 		r, err := Throughput(Setup{Model: model, Scheme: netsim.EarlyDemux}, sem, 61440, 16)
 		if err != nil {
-			return Table{}, fmt.Errorf("%v: %w", sem, err)
+			return fmt.Errorf("%v: %w", sem, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			sem.String(),
 			fmt.Sprintf("%.0f", r.Mbps),
 			fmt.Sprintf("%.0f", r.WireUS),
 			fmt.Sprintf("%.0f", r.SenderUS),
 			fmt.Sprintf("%.0f", r.ReceiverUS),
 			r.Bottleneck,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }

@@ -5,21 +5,38 @@ import (
 	"fmt"
 )
 
-// Event is a scheduled callback. It may be cancelled before it fires.
+// Event is a scheduled callback, owned by the engine. Fired and discarded
+// events are recycled through a free list, so callers never hold *Event
+// directly — Schedule and ScheduleAt return a Handle whose generation
+// check keeps stale cancellations from touching a recycled event.
 type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
 	index  int // heap index, -1 once removed
 	cancel bool
+	gen    uint32 // incremented on recycle; stale Handles become inert
 }
 
-// When returns the virtual time at which the event is scheduled to fire.
-func (ev *Event) When() Time { return ev.at }
+// Handle identifies one scheduled event. The zero Handle is inert.
+type Handle struct {
+	ev  *Event
+	gen uint32
+	at  Time
+}
+
+// When returns the virtual time at which the event was scheduled to fire.
+func (h Handle) When() Time { return h.at }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (ev *Event) Cancel() { ev.cancel = true }
+// already-cancelled event is a no-op: once the event fires or is
+// discarded, the engine recycles it under a new generation and the stale
+// handle no longer matches.
+func (h Handle) Cancel() {
+	if h.ev != nil && h.ev.gen == h.gen {
+		h.ev.cancel = true
+	}
+}
 
 // eventQueue is a min-heap ordered by (time, sequence).
 type eventQueue []*Event
@@ -51,18 +68,39 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
+// initialQueueCap sizes the event queue and free list on first use, ample
+// for one datagram transfer without growth.
+const initialQueueCap = 64
+
 // Engine is a deterministic discrete-event simulator.
 //
-// The zero value is ready to use, with the clock at time 0.
+// The zero value is ready to use, with the clock at time 0. An Engine is
+// not safe for concurrent use; independent simulations run in parallel by
+// giving each its own Engine.
 type Engine struct {
 	now   Time
 	seq   uint64
 	queue eventQueue
+	free  []*Event // recycled events, reused by ScheduleAt
 	steps uint64
 }
 
 // New returns a new engine with the clock at time zero.
-func New() *Engine { return &Engine{} }
+func New() *Engine {
+	e := &Engine{}
+	e.Reserve(initialQueueCap)
+	return e
+}
+
+// Reserve grows the event queue's capacity so that at least n events can
+// be pending without reallocation.
+func (e *Engine) Reserve(n int) {
+	if cap(e.queue)-len(e.queue) < n {
+		q := make(eventQueue, len(e.queue), len(e.queue)+n)
+		copy(q, e.queue)
+		e.queue = q
+	}
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -77,7 +115,7 @@ func (e *Engine) Steps() uint64 { return e.steps }
 // Schedule queues fn to run d after the current time. A negative d is an
 // error in the caller; it is clamped to zero so the event still fires,
 // preserving causality.
-func (e *Engine) Schedule(d Duration, fn func()) *Event {
+func (e *Engine) Schedule(d Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -86,14 +124,31 @@ func (e *Engine) Schedule(d Duration, fn func()) *Event {
 
 // ScheduleAt queues fn to run at absolute time t. Times in the past are
 // clamped to the current time.
-func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+func (e *Engine) ScheduleAt(t Time, fn func()) Handle {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.fn, ev.cancel = t, fn, false
+	} else {
+		ev = &Event{at: t, fn: fn}
+	}
+	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return Handle{ev: ev, gen: ev.gen, at: t}
+}
+
+// release recycles a popped event into the free list. Bumping the
+// generation makes every outstanding Handle to it inert.
+func (e *Engine) release(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Step executes the single earliest pending event, advancing the clock to
@@ -102,11 +157,14 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.cancel {
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
 		e.steps++
-		ev.fn()
+		fn := ev.fn
+		e.release(ev)
+		fn()
 		return true
 	}
 	return false
@@ -120,18 +178,25 @@ func (e *Engine) Run() Time {
 }
 
 // RunUntil executes events with time <= t, then advances the clock to t.
+// Cancelled events encountered on the way are discarded in a single pass:
+// each one is popped and recycled exactly once.
 func (e *Engine) RunUntil(t Time) {
 	for len(e.queue) > 0 {
-		// Peek at the earliest non-cancelled event.
 		ev := e.queue[0]
 		if ev.cancel {
 			heap.Pop(&e.queue)
+			e.release(ev)
 			continue
 		}
 		if ev.at > t {
 			break
 		}
-		e.Step()
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		e.steps++
+		fn := ev.fn
+		e.release(ev)
+		fn()
 	}
 	if e.now < t {
 		e.now = t

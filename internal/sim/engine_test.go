@@ -240,6 +240,111 @@ func TestPropertyAllEventsFire(t *testing.T) {
 	}
 }
 
+// RunUntil must discard a run of cancelled events in a single pass —
+// every cancelled event is popped and recycled exactly once — while
+// firing the surviving events in order and stopping at the horizon.
+func TestRunUntilSkipsCancelledSinglePass(t *testing.T) {
+	e := New()
+	var order []int
+	c1 := e.Schedule(5, func() { order = append(order, -1) })
+	c2 := e.Schedule(10, func() { order = append(order, -2) })
+	e.Schedule(15, func() { order = append(order, 1) })
+	c3 := e.Schedule(20, func() { order = append(order, -3) })
+	e.Schedule(25, func() { order = append(order, 2) })
+	e.Schedule(40, func() { order = append(order, 3) })
+	c1.Cancel()
+	c2.Cancel()
+	c3.Cancel()
+
+	e.RunUntil(30)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+	if e.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2 (cancelled events must not count)", e.Steps())
+	}
+	// The three cancelled events were discarded on the way; only the
+	// t=40 event remains.
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("order after Run = %v, want [1 2 3]", order)
+	}
+}
+
+// A handle kept past its event's firing must stay inert even after the
+// engine recycles the event for a new schedule.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := New()
+	stale := e.Schedule(1, func() {})
+	e.Run()
+
+	fired := false
+	e.Schedule(1, func() { fired = true }) // likely reuses the recycled Event
+	stale.Cancel()                         // must not touch the new event
+	e.Run()
+	if !fired {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+}
+
+// The free list must make steady-state scheduling allocation-free.
+func TestEventPoolReuse(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the pool and the queue.
+	for i := 0; i < 8; i++ {
+		e.Schedule(1, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			e.Schedule(1, fn)
+		}
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Schedule+Run allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// Cancelled events discarded by RunUntil must also return to the pool.
+func TestRunUntilRecyclesCancelledEvents(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 4; i++ {
+		e.Schedule(1, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 4; i++ {
+			e.Schedule(Duration(i+1), fn).Cancel()
+		}
+		e.RunUntil(e.Now() + 10)
+	})
+	if allocs > 0 {
+		t.Fatalf("cancelled-event discard allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkEngineSchedule measures the schedule/fire hot path; with the
+// event free list it runs allocation-free in steady state.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, fn)
+		e.Step()
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := New()
