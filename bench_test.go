@@ -223,9 +223,15 @@ func benchSweep(b *testing.B, workers int) {
 	b.Helper()
 	prev := experiments.Parallelism()
 	experiments.SetParallelism(workers)
-	defer experiments.SetParallelism(prev)
+	defer func() {
+		experiments.SetParallelism(prev)
+		experiments.ResetPerf()
+	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Start each iteration from a cold cache and empty free lists so
+		// the benchmark measures the simulation fan-out, not memo lookups.
+		experiments.ResetPerf()
 		if _, err := experiments.Figure3(experiments.Setup{}); err != nil {
 			b.Fatal(err)
 		}
@@ -234,6 +240,94 @@ func benchSweep(b *testing.B, workers int) {
 
 func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkMeasureColdVsRecycled isolates the testbed-recycling layer:
+// "cold" builds a fresh two-host testbed for every point (the pre-memo
+// behavior), "recycled" Resets and reuses one from the free list. The
+// cache is off in both arms so each iteration really simulates.
+func BenchmarkMeasureColdVsRecycled(b *testing.B) {
+	s := experiments.Setup{Scheme: netsim.EarlyDemux}
+	for _, arm := range []struct {
+		name    string
+		recycle bool
+	}{{"cold", false}, {"recycled", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			experiments.SetCaching(false)
+			experiments.SetRecycling(arm.recycle)
+			defer func() {
+				experiments.SetCaching(true)
+				experiments.SetRecycling(true)
+				experiments.ResetPerf()
+			}()
+			experiments.ResetPerf()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Measure(s, core.EmulatedCopy, 61440); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullRunCachedVsUncached times one full geniebench evaluation
+// — every figure, table, and ablation — with the measurement memo and
+// testbed recycling on versus off. Each iteration starts from a cold
+// cache, so "cached" measures a complete run including its misses; the
+// gap between the arms is the redundant simulation the memo removes.
+func BenchmarkFullRunCachedVsUncached(b *testing.B) {
+	fullRun := func(b *testing.B) {
+		b.Helper()
+		for _, f := range []func(experiments.Setup) (experiments.Figure, error){
+			experiments.Figure3, experiments.Figure4, experiments.Figure5,
+			experiments.Figure6, experiments.Figure7, experiments.FigureOutboard,
+		} {
+			if _, err := f(experiments.Setup{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, f := range []func(experiments.Setup) (experiments.Table, error){
+			experiments.Figure3Throughput, experiments.Table6, experiments.Table7,
+		} {
+			if _, err := f(experiments.Setup{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, f := range []func() (experiments.Table, error){
+			experiments.Table8, experiments.TableOC12,
+			func() (experiments.Table, error) { return experiments.TableThroughput(cost.CreditNetOC3) },
+			func() (experiments.Table, error) { return experiments.TableThroughput(cost.CreditNetOC12) },
+			experiments.AblationWiring, experiments.AblationAlignment,
+			experiments.AblationThresholds, experiments.AblationReverseCopyout,
+			experiments.AblationOutputProtection, experiments.AblationChecksum,
+			experiments.AblationPageout,
+		} {
+			if _, err := f(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, arm := range []struct {
+		name string
+		on   bool
+	}{{"uncached", false}, {"cached", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			experiments.SetCaching(arm.on)
+			experiments.SetRecycling(arm.on)
+			defer func() {
+				experiments.SetCaching(true)
+				experiments.SetRecycling(true)
+				experiments.ResetPerf()
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				experiments.ResetPerf()
+				fullRun(b)
+			}
+		})
+	}
+}
 
 // BenchmarkMeasureAllocs reports heap allocations per measurement point:
 // the simulator's event free list and the harness's recycled

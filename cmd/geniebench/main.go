@@ -9,10 +9,19 @@
 //	geniebench -ablations   # ablations of Genie's design choices
 //	geniebench -parallel 4  # fan measurement points across 4 workers
 //	geniebench -json out.json  # machine-readable results + wall-clock
+//	geniebench -nocache     # disable the measurement memo
+//	geniebench -norecycle   # disable testbed recycling
+//	geniebench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Measurement points fan out across -parallel worker goroutines
 // (default: GOMAXPROCS). -parallel 1 reproduces the serial path
-// bit-for-bit; any worker count produces identical output.
+// bit-for-bit; any worker count produces identical output. Identical
+// points across generators are simulated once and memoized, and
+// testbeds are recycled across points; -nocache and -norecycle restore
+// the cold path — output is byte-identical either way, only wall-clock
+// changes. The end-of-run summary (stderr) and the -json report record
+// cache hits/misses, single-flight waits, and testbeds recycled vs
+// built.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/cost"
@@ -48,10 +58,13 @@ type result struct {
 // report is the top-level -json document, written so future PRs can
 // track both the reproduced numbers and the harness's own wall-clock.
 type report struct {
-	Parallelism int      `json:"parallelism"`
-	GOMAXPROCS  int      `json:"gomaxprocs"`
-	TotalWallMS float64  `json:"total_wall_ms"`
-	Results     []result `json:"results"`
+	Parallelism int                   `json:"parallelism"`
+	GOMAXPROCS  int                   `json:"gomaxprocs"`
+	Cache       bool                  `json:"cache"`
+	Recycle     bool                  `json:"recycle"`
+	TotalWallMS float64               `json:"total_wall_ms"`
+	Perf        experiments.PerfStats `json:"perf"`
+	Results     []result              `json:"results"`
 }
 
 // generators lists every figure, table, and ablation in print order.
@@ -137,10 +150,29 @@ func main() {
 		"worker goroutines per sweep (1 = serial)")
 	jsonPath := flag.String("json", "",
 		"write every figure/table plus wall-clock per generator as JSON to this path")
+	nocache := flag.Bool("nocache", false,
+		"disable the cross-generator measurement memo (output is identical, only slower)")
+	norecycle := flag.Bool("norecycle", false,
+		"disable testbed recycling across measurement points")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
 	all := !*figures && !*tables && !*ablations
 
 	experiments.SetParallelism(*parallel)
+	experiments.SetCaching(!*nocache)
+	experiments.SetRecycling(!*norecycle)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir); err != nil {
@@ -176,11 +208,15 @@ func main() {
 		}
 	}
 
+	perf := experiments.Perf()
 	if *jsonPath != "" {
 		rep := report{
 			Parallelism: *parallel,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Cache:       !*nocache,
+			Recycle:     !*norecycle,
 			TotalWallMS: float64(time.Since(start).Microseconds()) / 1000,
+			Perf:        perf,
 			Results:     results,
 		}
 		buf, err := json.MarshalIndent(rep, "", "  ")
@@ -192,6 +228,31 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "geniebench: wrote %s (%d generators, %.0f ms total)\n",
 			*jsonPath, len(results), rep.TotalWallMS)
+	}
+
+	// The performance summary goes to stderr so stdout stays
+	// byte-comparable across cache/recycle/parallelism settings.
+	fmt.Fprintf(os.Stderr,
+		"geniebench: cache %d hits / %d misses / %d single-flight waits; testbeds %d recycled / %d built\n",
+		perf.CacheHits, perf.CacheMisses, perf.CacheWaits,
+		perf.TestbedsRecycled, perf.TestbedsBuilt)
+	if perf.ResetFailures > 0 {
+		fmt.Fprintf(os.Stderr, "geniebench: WARNING: %d testbed resets failed (state leak?)\n",
+			perf.ResetFailures)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
 	}
 }
 

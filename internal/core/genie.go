@@ -120,6 +120,24 @@ func NewGenie(name string, eng *sim.Engine, model *cost.Model, sys *vm.System, n
 	return g, nil
 }
 
+// Reset returns the framework instance to its post-construction state:
+// no queued input operations, receiver CPU idle at time zero, zeroed
+// counters, instrumentation disabled and empty. The kernel buffer pool
+// is reacquired from physical memory, so the host's PhysMem (and any
+// pools constructed before this Genie, such as the NIC overlay pool)
+// must be reset first for frame assignment to match a fresh host.
+func (g *Genie) Reset() error {
+	clear(g.recvQ)
+	g.cpuFreeAt = 0
+	g.stats = Stats{}
+	g.instr.Enabled = false
+	g.instr.Reset()
+	if err := g.kpool.Reacquire(); err != nil {
+		return fmt.Errorf("core: reset %s kernel pool: %w", g.name, err)
+	}
+	return nil
+}
+
 // Name returns the host name.
 func (g *Genie) Name() string { return g.name }
 

@@ -56,6 +56,8 @@ type Testbed struct {
 	Model *cost.Model
 	A, B  *Host
 	Link  *netsim.Link
+
+	cfg TestbedConfig // normalized configuration, kept for Reset
 }
 
 // NewTestbed builds the two-machine setup.
@@ -76,7 +78,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		cfg.Genie = DefaultConfig()
 	}
 	eng := sim.New()
-	tb := &Testbed{Eng: eng, Model: cfg.Model}
+	tb := &Testbed{Eng: eng, Model: cfg.Model, cfg: cfg}
 
 	build := func(name string) (*Host, error) {
 		pm := mem.New(cfg.FramesPerHost, cfg.Model.Platform.PageSize)
@@ -125,6 +127,37 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 
 // Run drains the simulation.
 func (tb *Testbed) Run() sim.Time { return tb.Eng.Run() }
+
+// Reset returns the whole testbed object graph to its post-construction
+// state without reallocating frame backing stores: the engine clock and
+// counters rewind to zero, each host's physical memory returns to its
+// canonical free list (keeping materialized frame data), the VM systems
+// drop every address space and object, and the NIC overlay and kernel
+// buffer pools reacquire their frames in construction order — so a
+// Reset testbed allocates the same frame ids, object ids, and address
+// space ids as a fresh one and any subsequent simulation is
+// bit-identical to one on a newly built testbed. Processes and regions
+// created on the testbed before the Reset must not be used afterwards.
+func (tb *Testbed) Reset() error {
+	tb.Eng.Reset()
+	for _, h := range []*Host{tb.A, tb.B} {
+		h.Phys.Reset()
+		h.Sys.Reset()
+		if tb.cfg.DemandPaging {
+			h.Sys.EnableDemandPaging(0)
+		}
+		// NIC before Genie: the overlay pool was constructed before the
+		// kernel pool, and identical frame assignment needs the same
+		// allocation order.
+		if err := h.NIC.Reset(); err != nil {
+			return fmt.Errorf("core: reset testbed %s: %w", h.Name, err)
+		}
+		if err := h.Genie.Reset(); err != nil {
+			return fmt.Errorf("core: reset testbed %s: %w", h.Name, err)
+		}
+	}
+	return nil
+}
 
 // Transfer performs one measured datagram transfer from a sender process
 // on host A to a receiver process on host B: the receiver preposts the

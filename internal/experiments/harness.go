@@ -65,7 +65,10 @@ func getBuf(n int) []byte {
 // putBuf recycles a buffer obtained from getBuf.
 func putBuf(b []byte) { bufPool.Put(&b) }
 
-// Measurement is the outcome of one datagram transfer.
+// Measurement is the outcome of one datagram transfer. Measurements
+// returned by Measure may be shared by reference across callers (the
+// measurement cache memoizes them), so the Records slice must be
+// treated as immutable.
 type Measurement struct {
 	Sem       core.Semantics
 	Bytes     int
@@ -92,20 +95,41 @@ func (m Measurement) ThroughputMbps() float64 {
 	return float64(m.Bytes) * 8 / m.LatencyUS
 }
 
-// Measure performs one transfer of length bytes under sem on a fresh
-// testbed and returns the measurement. Each point uses its own testbed,
-// which makes sweeps deterministic and independent, like the paper's
-// per-length runs on a quiet network.
+// Measure performs one transfer of length bytes under sem and returns
+// the measurement. Each point runs on its own private testbed, which
+// makes sweeps deterministic and independent, like the paper's
+// per-length runs on a quiet network. Identical points are memoized
+// (see Cache) and testbeds are recycled across points (see
+// SetRecycling); both layers are transparent — output is byte-identical
+// to a cold Measure on a fresh testbed.
 func Measure(s Setup, sem core.Semantics, length int) (Measurement, error) {
-	tb, err := core.NewTestbed(core.TestbedConfig{
-		Model:      s.model(),
-		Buffering:  s.Scheme,
-		OverlayOff: s.DevOff,
-		Genie:      s.Genie,
-	})
+	if c := measureCache.Load(); c != nil {
+		return c.Measure(s, sem, length)
+	}
+	return measureUncached(s, sem, length)
+}
+
+// measureUncached simulates the point, on a recycled testbed when one
+// is free. Testbeds are returned to the free list only after a clean
+// measurement; a failed point's testbed is in an unknown state and is
+// dropped.
+func measureUncached(s Setup, sem core.Semantics, length int) (Measurement, error) {
+	cfg := measureTestbedConfig(s)
+	tb, err := acquireTestbed(cfg)
 	if err != nil {
 		return Measurement{}, err
 	}
+	m, err := measureOn(tb, s, sem, length)
+	if err != nil {
+		return Measurement{}, err
+	}
+	releaseTestbed(cfg, tb)
+	return m, nil
+}
+
+// measureOn performs the transfer on the given freshly built or freshly
+// Reset testbed.
+func measureOn(tb *core.Testbed, s Setup, sem core.Semantics, length int) (Measurement, error) {
 	if s.Instrument {
 		tb.A.Genie.Instr().Enabled = true
 		tb.B.Genie.Instr().Enabled = true

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/netsim"
+)
+
+// withPerfRegime runs f with caching, recycling, and parallelism pinned,
+// from a cold cache and empty free lists, restoring the previous
+// configuration afterwards.
+func withPerfRegime(t *testing.T, cache, recycle bool, workers int, f func()) {
+	t.Helper()
+	prevCache, prevRecycle, prevWorkers := CachingEnabled(), RecyclingEnabled(), Parallelism()
+	defer func() {
+		SetCaching(prevCache)
+		SetRecycling(prevRecycle)
+		SetParallelism(prevWorkers)
+		ResetPerf()
+	}()
+	SetCaching(cache)
+	SetRecycling(recycle)
+	SetParallelism(workers)
+	ResetPerf()
+	f()
+}
+
+// renderFullSet regenerates every figure and table geniebench prints —
+// the sweeps, the fitted tables, the throughput extensions, and the
+// ablations — and renders them into one string.
+func renderFullSet(t *testing.T) string {
+	t.Helper()
+	fig := func(fn func(Setup) (Figure, error)) func() (string, error) {
+		return func() (string, error) { f, err := fn(Setup{}); return f.String(), err }
+	}
+	tabS := func(fn func(Setup) (Table, error)) func() (string, error) {
+		return func() (string, error) { tb, err := fn(Setup{}); return tb.String(), err }
+	}
+	tab := func(fn func() (Table, error)) func() (string, error) {
+		return func() (string, error) { tb, err := fn(); return tb.String(), err }
+	}
+	gens := []func() (string, error){
+		fig(Figure3), fig(Figure4), fig(Figure5), fig(Figure6), fig(Figure7),
+		fig(FigureOutboard),
+		tabS(Figure3Throughput), tabS(Table6), tabS(Table7),
+		tab(Table8), tab(TableOC12),
+		tab(func() (Table, error) { return TableThroughput(cost.CreditNetOC3) }),
+		tab(func() (Table, error) { return TableThroughput(cost.CreditNetOC12) }),
+		tab(AblationWiring), tab(AblationAlignment), tab(AblationThresholds),
+		tab(AblationReverseCopyout), tab(AblationOutputProtection),
+		tab(AblationChecksum), tab(AblationPageout),
+	}
+	var b strings.Builder
+	for _, g := range gens {
+		s, err := g()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestFullSetByteIdenticalAcrossRegimes asserts the tentpole determinism
+// property: the full figure/table set is byte-identical with the
+// measurement cache and testbed recycling on or off, and at -parallel 1
+// versus 8. The cold serial regime is the ground truth (exactly what
+// the pre-cache harness computed); every accelerated regime must match
+// it byte for byte.
+func TestFullSetByteIdenticalAcrossRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full evaluation runs in -short mode")
+	}
+	var coldSerial, cachedSerial, cachedParallel string
+	withPerfRegime(t, false, false, 1, func() { coldSerial = renderFullSet(t) })
+	withPerfRegime(t, true, true, 1, func() { cachedSerial = renderFullSet(t) })
+	withPerfRegime(t, true, true, 8, func() { cachedParallel = renderFullSet(t) })
+	if cachedSerial != coldSerial {
+		t.Errorf("cached serial output differs from cold serial output")
+	}
+	if cachedParallel != coldSerial {
+		t.Errorf("cached parallel-8 output differs from cold serial output")
+	}
+}
+
+// TestCacheSharesPointsAcrossGenerators asserts the cache actually
+// dedupes across generators: Figure 3 and its throughput table probe
+// the same max-datagram points, so generating both must simulate the
+// shared points exactly once.
+func TestCacheSharesPointsAcrossGenerators(t *testing.T) {
+	withPerfRegime(t, true, true, 4, func() {
+		if _, err := Figure3(Setup{}); err != nil {
+			t.Fatal(err)
+		}
+		misses := Perf().CacheMisses
+		if _, err := Figure3Throughput(Setup{}); err != nil {
+			t.Fatal(err)
+		}
+		after := Perf()
+		if after.CacheMisses != misses {
+			t.Errorf("Figure 3 throughput re-simulated %d points already measured for Figure 3",
+				after.CacheMisses-misses)
+		}
+		if after.CacheHits == 0 {
+			t.Errorf("no cache hits across Figure 3 + throughput table")
+		}
+	})
+}
+
+// TestCacheSingleFlight asserts that concurrent workers asking for the
+// same point compute it exactly once: one miss, and every other caller
+// either waits on the in-flight computation or hits the completed
+// entry. Run under -race this also locks in the entry lifecycle.
+func TestCacheSingleFlight(t *testing.T) {
+	const workers = 16
+	c := NewCache()
+	s := Setup{Scheme: netsim.EarlyDemux}
+	var wg sync.WaitGroup
+	results := make([]Measurement, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Measure(s, core.EmulatedCopy, 8192)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("worker %d got a different measurement: %+v vs %+v", i, results[i], results[0])
+		}
+	}
+	if got := c.misses.Load(); got != 1 {
+		t.Errorf("misses = %d, want 1 (single-flight)", got)
+	}
+	if hw := c.hits.Load() + c.waits.Load(); hw != workers-1 {
+		t.Errorf("hits+waits = %d, want %d", hw, workers-1)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestCacheDistinguishesSetups asserts the key covers every axis that
+// changes the simulation: distinct configurations must not share
+// entries, while the zero Genie config must share with the explicit
+// defaults NewTestbed would substitute for it.
+func TestCacheDistinguishesSetups(t *testing.T) {
+	c := NewCache()
+	base := Setup{Scheme: netsim.EarlyDemux}
+	variants := []Setup{
+		{Scheme: netsim.Pooled},
+		{Scheme: netsim.Pooled, AppOffset: 1000},
+		{Scheme: netsim.EarlyDemux, Instrument: true},
+		{Scheme: netsim.EarlyDemux, Model: cost.NewModel(cost.MicronP166, cost.CreditNetOC12)},
+	}
+	if _, err := c.Measure(base, core.Copy, 4096); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants {
+		if _, err := c.Measure(v, core.Copy, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := c.Len(), 1+len(variants); got != want {
+		t.Errorf("cache holds %d entries, want %d distinct ones", got, want)
+	}
+
+	// The zero config and the explicit defaults are the same simulation
+	// and must share one entry.
+	withDefaults := base
+	withDefaults.Genie = core.DefaultConfig()
+	if _, err := c.Measure(withDefaults, core.Copy, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Len(), 1+len(variants); got != want {
+		t.Errorf("zero-value Genie config did not share the defaults' entry: %d entries, want %d", got, want)
+	}
+}
+
+// TestRecycleCounters asserts a serial sweep over one configuration
+// reuses testbeds instead of rebuilding one per point. sync.Pool free
+// lists are per-P and may occasionally miss (goroutine migration, GC),
+// so the test checks the accounting identity and that recycling
+// happened, not an exact split.
+func TestRecycleCounters(t *testing.T) {
+	withPerfRegime(t, false, true, 1, func() {
+		lengths := []int{4096, 8192, 12288, 16384}
+		for _, b := range lengths {
+			if _, err := Measure(Setup{Scheme: netsim.EarlyDemux}, core.Share, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := Perf()
+		if got := st.TestbedsBuilt + st.TestbedsRecycled; got != uint64(len(lengths)) {
+			t.Errorf("built (%d) + recycled (%d) = %d, want one testbed per point (%d)",
+				st.TestbedsBuilt, st.TestbedsRecycled, got, len(lengths))
+		}
+		if st.TestbedsRecycled == 0 {
+			t.Error("no testbeds recycled across a serial sweep of identical configurations")
+		}
+		if st.ResetFailures != 0 {
+			t.Errorf("reset failures = %d, want 0", st.ResetFailures)
+		}
+	})
+}

@@ -40,6 +40,7 @@ type Frame struct {
 
 	free     bool
 	attached bool // currently owned by a memory object
+	pristine bool // data freshly materialized (all zero), never handed out
 }
 
 // ID returns the frame's identifier.
@@ -47,6 +48,8 @@ func (f *Frame) ID() FrameID { return f.id }
 
 // Data returns the frame's backing bytes. The slice aliases the frame:
 // writes through it model DMA or CPU stores into physical memory.
+// Backing stores are materialized lazily: a frame that has never been
+// allocated has no data yet and returns nil.
 func (f *Frame) Data() []byte { return f.data }
 
 // InRefs returns the number of outstanding input references.
@@ -110,19 +113,47 @@ func New(numFrames, pageSize int) *PhysMem {
 		frames:   make([]Frame, numFrames),
 		freeList: make([]FrameID, 0, numFrames),
 	}
-	backing := make([]byte, numFrames*pageSize)
+	// Frame backing stores are materialized lazily on first allocation:
+	// a sweep that touches 30 frames of a 512-frame machine never pays
+	// for the other 482 pages. Materialized data is zero (machine memory
+	// after power-on), so first-allocation contents match the old eager
+	// backing store exactly.
 	for i := range pm.frames {
 		f := &pm.frames[i]
 		f.id = FrameID(i)
-		f.data = backing[i*pageSize : (i+1)*pageSize : (i+1)*pageSize]
 		f.free = true
 	}
-	// Push in reverse so frame 0 is allocated first; purely cosmetic but
-	// keeps traces readable.
-	for i := numFrames - 1; i >= 0; i-- {
+	pm.resetFreeList()
+	return pm
+}
+
+// resetFreeList rebuilds the canonical free list: pushed in reverse so
+// frame 0 is allocated first; purely cosmetic but keeps traces readable
+// (and makes a Reset PhysMem allocate identically to a fresh one).
+func (pm *PhysMem) resetFreeList() {
+	pm.freeList = pm.freeList[:0]
+	for i := len(pm.frames) - 1; i >= 0; i-- {
 		pm.freeList = append(pm.freeList, FrameID(i))
 	}
-	return pm
+}
+
+// Reset returns the physical memory to its post-construction state: all
+// frames free in canonical allocation order, no I/O references or
+// wires, no reclaimer, zeroed statistics. Frame backing stores already
+// materialized are retained (their contents are stale, exactly like
+// real memory across a reboot), so a Reset machine allocates without
+// touching the allocator slow path again.
+func (pm *PhysMem) Reset() {
+	pm.reclaimer = nil
+	pm.stats = Stats{}
+	for i := range pm.frames {
+		f := &pm.frames[i]
+		f.inRefs, f.outRefs, f.wired = 0, 0, 0
+		f.attached = false
+		f.pristine = false
+		f.free = true
+	}
+	pm.resetFreeList()
 }
 
 // PageSize returns the frame size in bytes.
@@ -153,10 +184,11 @@ func (pm *PhysMem) Frame(id FrameID) *Frame {
 // it reclaimed.
 func (pm *PhysMem) SetReclaimer(fn func(need int) int) { pm.reclaimer = fn }
 
-// Alloc removes a frame from the free list and attaches it. The frame's
-// contents are whatever the previous owner left there — exactly the
-// property that makes I/O-deferred deallocation necessary for safety.
-func (pm *PhysMem) Alloc() (*Frame, error) {
+// alloc removes a frame from the free list and attaches it, lazily
+// materializing its backing store on first attach. It preserves the
+// frame's pristine flag so AllocZeroed can skip redundant clears; the
+// exported wrappers consume the flag before handing the frame out.
+func (pm *PhysMem) alloc() (*Frame, error) {
 	if len(pm.freeList) == 0 && pm.reclaimer != nil {
 		pm.stats.ReclaimRuns++
 		fn := pm.reclaimer
@@ -172,20 +204,42 @@ func (pm *PhysMem) Alloc() (*Frame, error) {
 	id := pm.freeList[n-1]
 	pm.freeList = pm.freeList[:n-1]
 	f := &pm.frames[id]
+	if f.data == nil {
+		f.data = make([]byte, pm.pageSize)
+		f.pristine = true
+	}
 	f.free = false
 	f.attached = true
 	pm.stats.Allocs++
 	return f, nil
 }
 
-// AllocZeroed is Alloc followed by clearing the frame contents, as a
-// kernel must do before mapping a fresh page to user space.
-func (pm *PhysMem) AllocZeroed() (*Frame, error) {
-	f, err := pm.Alloc()
+// Alloc removes a frame from the free list and attaches it. The frame's
+// contents are whatever the previous owner left there — exactly the
+// property that makes I/O-deferred deallocation necessary for safety.
+func (pm *PhysMem) Alloc() (*Frame, error) {
+	f, err := pm.alloc()
 	if err != nil {
 		return nil, err
 	}
-	clear(f.data)
+	f.pristine = false
+	return f, nil
+}
+
+// AllocZeroed is Alloc followed by clearing the frame contents, as a
+// kernel must do before mapping a fresh page to user space. A freshly
+// materialized backing store is already zero, so the physical clear is
+// skipped (the count in Stats.Zeroed still advances — the page is
+// handed out zeroed either way).
+func (pm *PhysMem) AllocZeroed() (*Frame, error) {
+	f, err := pm.alloc()
+	if err != nil {
+		return nil, err
+	}
+	if !f.pristine {
+		clear(f.data)
+	}
+	f.pristine = false
 	pm.stats.Zeroed++
 	return f, nil
 }

@@ -333,3 +333,110 @@ func BenchmarkAllocRelease(b *testing.B) {
 		pm.Release(f)
 	}
 }
+
+func TestLazyMaterialization(t *testing.T) {
+	pm := New(4, 16)
+	for i := 0; i < 4; i++ {
+		if data := pm.Frame(FrameID(i)).Data(); data != nil {
+			t.Fatalf("frame %d has backing data before first allocation", i)
+		}
+	}
+	f, err := pm.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Data()) != 16 {
+		t.Fatalf("allocated frame has %d bytes of backing, want 16", len(f.Data()))
+	}
+	for i, b := range f.Data() {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x on first materialization, want 0 (power-on memory)", i, b)
+		}
+	}
+	// The other frames stay unmaterialized.
+	for i := 1; i < 4; i++ {
+		if pm.Frame(FrameID(i)).Data() != nil {
+			t.Fatalf("frame %d materialized without being allocated", i)
+		}
+	}
+}
+
+func TestAllocZeroedSkipsPristineClear(t *testing.T) {
+	pm := New(2, 16)
+	// First allocation of a frame: the backing is freshly materialized
+	// (all zero), so AllocZeroed must count it as zeroed without needing
+	// a clear, and the data must read zero either way.
+	f, err := pm.AllocZeroed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pm.Stats().Zeroed; got != 1 {
+		t.Fatalf("Stats.Zeroed = %d after first AllocZeroed, want 1", got)
+	}
+	for i, b := range f.Data() {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x after AllocZeroed on pristine frame", i, b)
+		}
+	}
+	// Dirty the frame and recycle it: now AllocZeroed must really clear.
+	f.Data()[3] = 0x77
+	pm.Release(f)
+	g, err := pm.AllocZeroed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ID() != f.ID() {
+		t.Fatalf("LIFO free list should reuse frame %d, got %d", f.ID(), g.ID())
+	}
+	if g.Data()[3] != 0 {
+		t.Fatal("recycled dirty frame not cleared by AllocZeroed")
+	}
+	if got := pm.Stats().Zeroed; got != 2 {
+		t.Fatalf("Stats.Zeroed = %d after second AllocZeroed, want 2", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	pm := New(4, 16)
+	f0, _ := pm.Alloc()
+	f0.Data()[0] = 0xEE
+	f1, _ := pm.Alloc()
+	pm.Wire(f1)
+	pm.RefInput(f1)
+	pm.Release(f0)
+
+	pm.Reset()
+	if err := pm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if pm.FreeFrames() != pm.NumFrames() {
+		t.Fatalf("free frames = %d after Reset, want %d", pm.FreeFrames(), pm.NumFrames())
+	}
+	if pm.Stats() != (Stats{}) {
+		t.Fatalf("stats = %+v after Reset, want zero", pm.Stats())
+	}
+	// Canonical free-list order: allocation starts over at frame 0, and
+	// the retained backing store keeps its (stale) contents.
+	g, err := pm.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ID() != 0 {
+		t.Fatalf("first allocation after Reset returned frame %d, want 0", g.ID())
+	}
+	if g.Data()[0] != 0xEE {
+		t.Fatal("Reset reallocated the backing store instead of retaining it")
+	}
+	if g.Referenced() || g.Wired() {
+		t.Fatalf("frame carries stale ref/wire counts after Reset: %v", g)
+	}
+	// A Reset frame is not pristine: AllocZeroed must clear it.
+	pm.Reset()
+	z, err := pm.AllocZeroed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Data()[0] != 0 {
+		t.Fatal("AllocZeroed returned stale data after Reset")
+	}
+}

@@ -175,6 +175,29 @@ func NewNIC(eng *sim.Engine, cfg NICConfig) (*NIC, error) {
 	}, nil
 }
 
+// Reset returns the adapter to its post-construction state: no posted
+// inputs, no partial reassemblies, transmit path idle at time zero, no
+// armed fault injection, zeroed counters. The overlay pool (if any) is
+// reacquired from physical memory — the caller must have Reset the
+// host's PhysMem first — and outboard staging memory is emptied. The
+// attached link, peer, and receive upcall are preserved.
+func (n *NIC) Reset() error {
+	clear(n.posted)
+	clear(n.reasm)
+	n.busyUntil = 0
+	n.corruptAt = -1
+	n.stats = Stats{}
+	if n.pool != nil {
+		if err := n.pool.Reacquire(); err != nil {
+			return fmt.Errorf("netsim: reset NIC %q: %w", n.name, err)
+		}
+	}
+	if n.outboard != nil {
+		n.outboard.Reset()
+	}
+	return nil
+}
+
 // MTU returns the fragmentation threshold (0 = none).
 func (n *NIC) MTU() int { return n.mtu }
 

@@ -89,6 +89,24 @@ func (p *OverlayPool) ConsumedBy(n int) {
 	// beyond the invariant that free never exceeds total.
 }
 
+// Reacquire rebuilds the pool after the underlying physical memory was
+// Reset wholesale: stale frame pointers are discarded and the full
+// complement of pages is allocated again, in construction order, so a
+// recycled pool holds exactly the frames a fresh one would. Callers
+// must sequence Reacquire calls in the same order the pools were
+// originally constructed for frame assignment to be identical.
+func (p *OverlayPool) Reacquire() error {
+	p.free = p.free[:0]
+	for i := 0; i < p.total; i++ {
+		f, err := p.pm.Alloc()
+		if err != nil {
+			return fmt.Errorf("netsim: overlay pool reacquire: %w", err)
+		}
+		p.free = append(p.free, f)
+	}
+	return nil
+}
+
 // Destroy releases all pooled frames back to physical memory.
 func (p *OverlayPool) Destroy() {
 	for _, f := range p.free {
@@ -111,6 +129,12 @@ func NewOutboardMemory(capacity int) *OutboardMemory {
 
 // Free returns the unallocated outboard bytes.
 func (o *OutboardMemory) Free() int { return o.capacity - o.used }
+
+// Reset discards all staged buffers, returning the adapter memory to
+// its post-construction state. Outstanding OutboardBuffers become
+// orphans; their Free calls are no longer meaningful and must not
+// follow a Reset.
+func (o *OutboardMemory) Reset() { o.used = 0 }
 
 // Alloc stages an n-byte buffer in outboard memory.
 func (o *OutboardMemory) Alloc(n int) (*OutboardBuffer, error) {

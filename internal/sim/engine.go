@@ -151,6 +151,23 @@ func (e *Engine) release(ev *Event) {
 	e.free = append(e.free, ev)
 }
 
+// Reset returns the engine to its post-construction state: clock at
+// zero, sequence and step counters at zero, no pending events. The
+// event free list is retained, so an engine recycled across simulation
+// runs keeps its allocation-free schedule/fire path warm. Outstanding
+// Handles become inert (their events are recycled under new
+// generations), exactly as if they had fired.
+func (e *Engine) Reset() {
+	for n := len(e.queue); n > 0; n = len(e.queue) {
+		ev := e.queue[n-1]
+		e.queue[n-1] = nil
+		e.queue = e.queue[:n-1]
+		ev.index = -1
+		e.release(ev)
+	}
+	e.now, e.seq, e.steps = 0, 0, 0
+}
+
 // Step executes the single earliest pending event, advancing the clock to
 // its time. It reports whether an event was executed.
 func (e *Engine) Step() bool {

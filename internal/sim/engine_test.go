@@ -354,3 +354,33 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+func TestReset(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	stale := e.Schedule(10, func() { fired = true })
+	e.RunSteps(0) // leave both pending
+
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Steps() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d steps=%d, want all zero", e.Now(), e.Pending(), e.Steps())
+	}
+	if got := e.Run(); got != 0 || fired {
+		t.Fatalf("pending events survived Reset (ran to %v, fired=%t)", got, fired)
+	}
+
+	// The engine is reusable and stale handles are inert.
+	count := 0
+	e.Schedule(3, func() { count++ }) // likely recycles a discarded event
+	stale.Cancel()                    // must not touch the new event
+	if end := e.Run(); end != 3 {
+		t.Fatalf("Run after Reset ended at %v, want 3", end)
+	}
+	if count != 1 {
+		t.Fatalf("event after Reset fired %d times, want 1", count)
+	}
+	if e.Steps() != 1 {
+		t.Fatalf("steps = %d after one post-Reset event, want 1", e.Steps())
+	}
+}

@@ -86,6 +86,22 @@ func (sys *System) DestroySpace(as *AddressSpace) {
 	}
 }
 
+// Reset returns the VM system to its post-construction state: no
+// address spaces, no memory objects, zeroed statistics, and id counters
+// rewound so a recycled system hands out the same ids as a fresh one
+// (deterministic pageout scan order depends on object ids). The caller
+// owns the underlying physical memory and must reset it first; Reset
+// drops every reference into it without releasing frames one by one.
+// Demand paging, if it was enabled, must be re-enabled afterwards (the
+// physical memory's reclaimer hook is cleared by its own Reset).
+func (sys *System) Reset() {
+	sys.spaces = sys.spaces[:0]
+	clear(sys.objects)
+	sys.nextObjID = 0
+	sys.nextASID = 0
+	sys.stats = SysStats{}
+}
+
 // NewKernelObject creates a memory object owned by the kernel (no
 // region). System and overlay buffers are built from kernel objects.
 func (sys *System) NewKernelObject() *MemObject {
