@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // benchSemantics runs one transfer per iteration and reports the
@@ -342,6 +343,43 @@ func BenchmarkMeasureAllocs(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTracingOverhead compares one real (uncached, recycled)
+// measurement point with tracing off versus on, the overhead guarantee
+// of the observability facade: "off" must stay at the untraced cost (no
+// allocations from tracing, branch-only guards), "on" pays only for
+// event emission into a cheap sink.
+func BenchmarkTracingOverhead(b *testing.B) {
+	for _, arm := range []struct {
+		name   string
+		tracer *trace.Tracer
+	}{
+		{"off", nil},
+		{"on", trace.New(discardSink{})},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			experiments.SetCaching(false)
+			defer func() {
+				experiments.SetCaching(true)
+				experiments.ResetPerf()
+			}()
+			experiments.ResetPerf()
+			s := experiments.Setup{Scheme: netsim.EarlyDemux, Tracer: arm.tracer}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Measure(s, core.EmulatedCopy, 61440); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// discardSink drops every event; it isolates emission cost from sink cost.
+type discardSink struct{}
+
+func (discardSink) Emit(trace.Event) {}
 
 // BenchmarkEngineScheduleLoop exercises the simulator's schedule/fire
 // hot path through the public API; the event pool keeps it at zero

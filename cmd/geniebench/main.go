@@ -9,6 +9,7 @@
 //	geniebench -ablations   # ablations of Genie's design choices
 //	geniebench -parallel 4  # fan measurement points across 4 workers
 //	geniebench -json out.json  # machine-readable results + wall-clock
+//	geniebench -trace out.json # traced exemplar per figure (chrome://tracing)
 //	geniebench -nocache     # disable the measurement memo
 //	geniebench -norecycle   # disable testbed recycling
 //	geniebench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -34,8 +35,11 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/trace"
 )
 
 // generator is one named figure or table producer.
@@ -156,8 +160,10 @@ func main() {
 		"disable testbed recycling across measurement points")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
+	tracePath := flag.String("trace", "",
+		"capture one traced exemplar transfer per figure as Chrome trace_event JSON at this path")
 	flag.Parse()
-	all := !*figures && !*tables && !*ablations
+	all := !*figures && !*tables && !*ablations && *tracePath == ""
 
 	experiments.SetParallelism(*parallel)
 	experiments.SetCaching(!*nocache)
@@ -176,6 +182,12 @@ func main() {
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir); err != nil {
+			fail(err)
+		}
+	}
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
 			fail(err)
 		}
 	}
@@ -259,6 +271,56 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "geniebench:", err)
 	os.Exit(1)
+}
+
+// writeTrace re-runs one representative transfer per figure with the
+// structured tracer attached and writes all of them into a single Chrome
+// trace_event JSON document — one process group per exemplar, so the
+// viewer shows each figure's transfer as its own track pair. The runs
+// are serial: the bundled trace sinks are not synchronized.
+func writeTrace(path string) error {
+	exemplars := []struct {
+		name  string
+		setup experiments.Setup
+		sem   core.Semantics
+		bytes int
+	}{
+		{"Figure 3: emulated copy 60KB, early demux",
+			experiments.Setup{Scheme: netsim.EarlyDemux}, core.EmulatedCopy, 61440},
+		{"Figure 4: share 60KB, early demux",
+			experiments.Setup{Scheme: netsim.EarlyDemux}, core.Share, 61440},
+		{"Figure 5: emulated copy 2KB, early demux",
+			experiments.Setup{Scheme: netsim.EarlyDemux}, core.EmulatedCopy, 2048},
+		{"Figure 6: emulated copy 60KB, pooled",
+			experiments.Setup{Scheme: netsim.Pooled}, core.EmulatedCopy, 61440},
+		{"Figure 7: emulated copy 60KB, pooled, misaligned",
+			experiments.Setup{Scheme: netsim.Pooled, DevOff: 1000, AppOffset: 1000},
+			core.EmulatedCopy, 61440},
+		{"Outboard: emulated copy 60KB",
+			experiments.Setup{Scheme: netsim.OutboardBuffering}, core.EmulatedCopy, 61440},
+	}
+	exp := trace.NewChromeExporter()
+	for i, e := range exemplars {
+		exp.SetProcess(i+1, e.name)
+		s := e.setup
+		s.Tracer = trace.New(exp)
+		if _, err := experiments.Measure(s, e.sem, e.bytes); err != nil {
+			return fmt.Errorf("trace exemplar %q: %w", e.name, err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := exp.WriteTo(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "geniebench: wrote %s (%d traced exemplars; load in chrome://tracing or Perfetto)\n",
+		path, len(exemplars))
+	return nil
 }
 
 // writeCSVs regenerates the five figures and writes them as CSV files.

@@ -1,0 +1,129 @@
+// Command tracecheck validates a Chrome trace_event JSON file against
+// the subset of the format this repo emits: well-formed JSON with a
+// traceEvents array, every record carrying a name and a known phase,
+// non-negative timestamps and durations, per-process monotonic
+// non-decreasing timestamps, and balanced async begin/end pairs. CI
+// runs it over geniebench -trace output so a malformed export fails the
+// build instead of failing silently in the viewer.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// traceDoc is the object-format trace_event document.
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// traceEvent is the subset of record fields the checks need.
+type traceEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+	Cat  string   `json:"cat"`
+	ID   uint64   `json:"id"`
+	S    string   `json:"s"`
+}
+
+var validPhases = map[string]bool{
+	"X": true, // complete (requires dur)
+	"i": true, // instant
+	"b": true, // async begin
+	"e": true, // async end
+	"M": true, // metadata
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	buf, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		fail("not well-formed JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fail("traceEvents is empty")
+	}
+
+	lastTs := map[int]float64{}   // per-pid monotonicity
+	asyncOpen := map[string]int{} // (pid, cat, id, name) balance
+	counts := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		where := func(msg string, args ...any) {
+			fail("event %d (%q): %s", i, ev.Name, fmt.Sprintf(msg, args...))
+		}
+		if ev.Name == "" {
+			fail("event %d: missing name", i)
+		}
+		if !validPhases[ev.Ph] {
+			where("unknown phase %q", ev.Ph)
+		}
+		if ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			where("missing ts/pid/tid")
+		}
+		counts[ev.Ph]++
+		if ev.Ph == "M" {
+			continue
+		}
+		if *ev.Ts < 0 {
+			where("negative timestamp %g", *ev.Ts)
+		}
+		if prev, ok := lastTs[*ev.Pid]; ok && *ev.Ts < prev {
+			where("timestamp %g precedes %g within pid %d", *ev.Ts, prev, *ev.Pid)
+		}
+		lastTs[*ev.Pid] = *ev.Ts
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil {
+				where("complete event without dur")
+			}
+			if *ev.Dur < 0 {
+				where("negative duration %g", *ev.Dur)
+			}
+		case "b", "e":
+			if ev.ID == 0 {
+				where("async event without id")
+			}
+			key := fmt.Sprintf("%d/%s/%d/%s", *ev.Pid, ev.Cat, ev.ID, ev.Name)
+			if ev.Ph == "b" {
+				asyncOpen[key]++
+			} else {
+				asyncOpen[key]--
+				if asyncOpen[key] < 0 {
+					where("async end without matching begin (%s)", key)
+				}
+			}
+		case "i":
+			if ev.S != "" && ev.S != "t" && ev.S != "p" && ev.S != "g" {
+				where("invalid instant scope %q", ev.S)
+			}
+		}
+	}
+	for key, n := range asyncOpen {
+		if n != 0 {
+			fail("unbalanced async span %s: %d unclosed begin(s)", key, n)
+		}
+	}
+	fmt.Printf("tracecheck: %s OK — %d events (%d complete, %d instant, %d async pairs, %d metadata), %d process(es)\n",
+		os.Args[1], len(doc.TraceEvents), counts["X"], counts["i"], counts["b"], counts["M"], len(lastTs))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -64,4 +64,21 @@ func main() {
 	lat2 := in2.CompletedAt.Sub(out2.StartedAt)
 	fmt.Printf("same transfer with copy semantics: %.1f us (%.0f%% slower)\n",
 		lat2.Micros(), (lat2.Micros()/lat.Micros()-1)*100)
+
+	// Under system-allocated semantics the system picks the receive
+	// buffer, so there is no destination address to pass: NoAddr makes
+	// the ignored argument explicit, and in3.Addr reports where the data
+	// actually landed.
+	r, err := sender.AllocIOBuffer(8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sender.Write(r.Start(), payload); err != nil {
+		log.Fatal(err)
+	}
+	_, in3, err := net.Transfer(sender, receiver, 1, genie.EmulatedMove, r.Start(), genie.NoAddr, len(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emulated move delivered into a system-chosen region at %#x\n", in3.Addr)
 }

@@ -100,7 +100,7 @@ func allocation() {
 	if err := tx.Write(r.Start(), []byte("gone soon")); err != nil {
 		log.Fatal(err)
 	}
-	_, in, err := net.Transfer(tx, rx, 1, genie.EmulatedMove, r.Start(), 0, 4096)
+	_, in, err := net.Transfer(tx, rx, 1, genie.EmulatedMove, r.Start(), genie.NoAddr, 4096)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func caching() {
 		if err := tx.Write(r.Start(), bytes.Repeat([]byte{tag}, 4096)); err != nil {
 			log.Fatal(err)
 		}
-		_, in, err := net.Transfer(tx, rx, 1, genie.EmulatedWeakMove, r.Start(), 0, 4096)
+		_, in, err := net.Transfer(tx, rx, 1, genie.EmulatedWeakMove, r.Start(), genie.NoAddr, 4096)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,122 @@
+package genie_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFacadeHidesInternalTypes is the API guard for the facade redesign:
+// no exported declaration of package genie may reference a
+// repro/internal/... type where godoc would render it — function and
+// method signatures, exported struct fields, and the declared types of
+// exported vars and consts. Internal selectors are allowed in exactly
+// two godoc-invisible positions: the right-hand side of a type alias
+// (the mechanism the facade re-exports through) and the initializer
+// values of vars/consts. Everything else must go through the facade's
+// own names, so the package reads as self-contained.
+func TestFacadeHidesInternalTypes(t *testing.T) {
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Identifiers bound to repro/internal/... imports in this file.
+		internal := map[string]bool{}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if !strings.HasPrefix(path, "repro/internal/") {
+				continue
+			}
+			alias := path[strings.LastIndex(path, "/")+1:]
+			if imp.Name != nil {
+				alias = imp.Name.Name
+			}
+			internal[alias] = true
+		}
+		if len(internal) == 0 {
+			continue
+		}
+
+		leaks := func(context string, n ast.Node) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if ok && internal[id.Name] {
+					t.Errorf("%s: %s leaks internal type %s.%s",
+						fset.Position(sel.Pos()), context, id.Name, sel.Sel.Name)
+				}
+				return true
+			})
+		}
+
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				ctx := "func " + d.Name.Name
+				if d.Recv != nil {
+					leaks(ctx+" receiver", d.Recv)
+				}
+				if d.Type.Params != nil {
+					leaks(ctx+" params", d.Type.Params)
+				}
+				if d.Type.Results != nil {
+					leaks(ctx+" results", d.Type.Results)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() || s.Assign.IsValid() {
+							// Unexported, or a type alias — the one
+							// sanctioned re-export position.
+							continue
+						}
+						if st, ok := s.Type.(*ast.StructType); ok {
+							for _, fld := range st.Fields.List {
+								for _, fname := range fld.Names {
+									if fname.IsExported() {
+										leaks("type "+s.Name.Name+" field "+fname.Name, fld.Type)
+									}
+								}
+							}
+							continue
+						}
+						leaks("type "+s.Name.Name, s.Type)
+					case *ast.ValueSpec:
+						exported := false
+						for _, vname := range s.Names {
+							if vname.IsExported() {
+								exported = true
+							}
+						}
+						// Initializer values are allowed; only the
+						// declared type would surface in godoc.
+						if exported && s.Type != nil {
+							leaks("var/const "+s.Names[0].Name, s.Type)
+						}
+					}
+				}
+			}
+		}
+	}
+}

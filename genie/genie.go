@@ -31,8 +31,10 @@ package genie
 import (
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -105,11 +107,23 @@ type (
 	Region = vm.Region
 	// Platform describes a machine from the paper's Table 5.
 	Platform = cost.Platform
+	// Net describes a link technology (name and line rate).
+	Net = cost.Network
 	// Time is a point on the simulated clock, in microseconds.
 	Time = sim.Time
 	// Duration is a span of simulated time, in microseconds.
 	Duration = sim.Duration
+	// Stats counts a host's data path events (outputs, inputs,
+	// conversions, copyouts, swaps, drops).
+	Stats = core.Stats
 )
+
+// NoAddr is the destination address for input under the
+// system-allocated semantics (the move family), where the system — not
+// the caller — chooses the buffer: pass it as dstVA to make the ignored
+// argument explicit. The completed input's Addr reports the actual
+// location.
+const NoAddr Addr = 0
 
 // DefaultConfig returns the paper's tunable settings.
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -133,6 +147,14 @@ const (
 // ErrChecksum reports a failed payload verification.
 var ErrChecksum = core.ErrChecksum
 
+// ErrBadBuffer reports an invalid buffer range: a non-positive or
+// over-MTU length, or an address that does not start a usable region.
+var ErrBadBuffer = core.ErrBadBuffer
+
+// ErrOutOfMemory reports exhausted physical memory on a host built
+// without WithDemandPaging (with it, the system pages out instead).
+var ErrOutOfMemory = mem.ErrOutOfMemory
+
 // Platforms from the paper's Table 5.
 var (
 	MicronP166      = cost.MicronP166
@@ -140,9 +162,26 @@ var (
 	AlphaStation255 = cost.AlphaStation255
 )
 
+// Link technologies.
+var (
+	// OC3 is the Credit Net ATM link at OC-3 (155 Mbps), the paper's
+	// measured configuration and the default.
+	OC3 = cost.CreditNetOC3
+	// OC12 is the ATM link at OC-12 (622 Mbps), the paper's
+	// extrapolation.
+	OC12 = cost.CreditNetOC12
+)
+
+// NetAt describes a custom link running at rateMbps.
+func NetAt(rateMbps float64) Net { return Net{Name: "custom", RateMbps: rateMbps} }
+
 // options collects the functional options for New.
 type options struct {
-	cfg core.TestbedConfig
+	cfg      core.TestbedConfig
+	platform Platform
+	network  Net
+	modelSet bool
+	sink     Sink
 }
 
 // Option configures the simulated network built by New.
@@ -155,21 +194,37 @@ func WithBuffering(b Buffering) Option {
 }
 
 // WithPlatform selects the host machine model (default: Micron P166).
+// Composes with WithNetwork; the two axes are independent.
 func WithPlatform(p Platform) Option {
-	return func(o *options) { o.cfg.Model = cost.NewModel(p, cost.CreditNetOC3) }
+	return func(o *options) {
+		o.platform = p
+		o.modelSet = true
+	}
+}
+
+// WithNetwork selects the link technology (default: OC3). Composes with
+// WithPlatform.
+func WithNetwork(n Net) Option {
+	return func(o *options) {
+		o.network = n
+		o.modelSet = true
+	}
 }
 
 // WithPlatformAt selects the host machine and link rate in Mbps.
+//
+// Deprecated: compose WithPlatform(p) with WithNetwork(NetAt(rateMbps)).
 func WithPlatformAt(p Platform, rateMbps float64) Option {
 	return func(o *options) {
-		o.cfg.Model = cost.NewModel(p, cost.Network{Name: "custom", RateMbps: rateMbps})
+		WithPlatform(p)(o)
+		WithNetwork(NetAt(rateMbps))(o)
 	}
 }
 
 // WithOC12 runs the link at OC-12 (622 Mbps), the paper's extrapolation.
-func WithOC12() Option {
-	return func(o *options) { o.cfg.Model = cost.NewModel(cost.MicronP166, cost.CreditNetOC12) }
-}
+//
+// Deprecated: use WithNetwork(OC12).
+func WithOC12() Option { return WithNetwork(OC12) }
 
 // WithDeviceOffset sets the payload placement offset within the first
 // input page (unstripped headers under pooled buffering). Applications
@@ -206,6 +261,7 @@ func WithDemandPaging() Option {
 // Network is a simulated pair of hosts connected by an ATM link.
 type Network struct {
 	tb *core.Testbed
+	tr *Trace
 }
 
 // New builds the two-host testbed of the paper's Section 7.
@@ -214,12 +270,32 @@ func New(opts ...Option) (*Network, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.modelSet {
+		p, nt := o.platform, o.network
+		if p.Name == "" {
+			p = cost.MicronP166
+		}
+		if nt.Name == "" {
+			nt = cost.CreditNetOC3
+		}
+		o.cfg.Model = cost.NewModel(p, nt)
+	}
 	tb, err := core.NewTestbed(o.cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Network{tb: tb}, nil
+	n := &Network{tb: tb}
+	if o.sink != nil {
+		n.tr = trace.New(o.sink)
+		tb.SetTracer(n.tr)
+	}
+	return n, nil
 }
+
+// Tracer returns the network's tracing handle: nil when the network was
+// built without WithTracer. The handle (and every *Trace) is nil-safe,
+// so it can be passed around without guarding.
+func (n *Network) Tracer() *Trace { return n.tr }
 
 // Host is one machine of the pair.
 type Host struct {
@@ -286,4 +362,4 @@ func (h *Host) FreeFrames() int { return h.h.Phys.FreeFrames() }
 func (h *Host) CorruptNextTx(off int) { h.h.NIC.CorruptNextTx(off) }
 
 // Stats returns the host's Genie data path counters.
-func (h *Host) Stats() core.Stats { return h.h.Genie.Stats() }
+func (h *Host) Stats() Stats { return h.h.Genie.Stats() }

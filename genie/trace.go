@@ -1,0 +1,142 @@
+package genie
+
+import (
+	"repro/internal/trace"
+)
+
+// Observability facade: the structured tracing and metrics surface of
+// the framework. A Network built WithTracer emits clock-stamped events
+// from every layer — data passing operations with their per-charge
+// latency breakdown (Tables 2-4), VM activity (TCOW and COW faults,
+// pageout, region state transitions, wiring), and network activity
+// (wire serialization, DMA, fragmentation, overlay pool traffic) — into
+// a pluggable Sink. Tracing is pay-for-what-you-use: without a tracer
+// the data path performs one pointer test per potential event and
+// allocates nothing.
+
+// Event is one structured trace record: what happened, when on the
+// virtual clock, on which host, and under which semantics/stage/port.
+type Event = trace.Event
+
+// Span is the correlation id linking the events of one input or output
+// operation; 0 marks events outside any operation.
+type Span = uint64
+
+// EventPhase classifies how an event relates to time.
+type EventPhase = trace.Phase
+
+// Event phases.
+const (
+	// PhaseInstant marks a point in time (a fault, a drop, a state
+	// change).
+	PhaseInstant = trace.Instant
+	// PhaseComplete is a span with an explicit duration (an operation
+	// charge, a wire serialization).
+	PhaseComplete = trace.Complete
+	// PhaseBegin opens an operation span, closed by a PhaseEnd event
+	// carrying the same Span id.
+	PhaseBegin = trace.Begin
+	// PhaseEnd closes a PhaseBegin.
+	PhaseEnd = trace.End
+)
+
+// EventCategory is the subsystem an event originates from.
+type EventCategory = trace.Category
+
+// Event categories.
+const (
+	// CategoryOp: data passing operations of the framework.
+	CategoryOp = trace.CatOp
+	// CategoryVM: virtual memory events.
+	CategoryVM = trace.CatVM
+	// CategoryNet: adapter and link events.
+	CategoryNet = trace.CatNet
+)
+
+// Sink receives emitted events. Emission happens inline on the
+// simulation's hot path, so sinks must be cheap and must not retain
+// pointers into the simulation.
+type Sink = trace.Sink
+
+// Trace is the handle to a network's installed tracer. It is nil-safe:
+// every method of a nil *Trace is a no-op, so callers never need to
+// guard for the untraced case.
+type Trace = trace.Tracer
+
+// Ring is a fixed-capacity collector sink: the most recent events are
+// kept, older ones are overwritten.
+type Ring = trace.Ring
+
+// NewRingSink creates a ring collector holding up to capacity events.
+func NewRingSink(capacity int) *Ring { return trace.NewRing(capacity) }
+
+// Histograms aggregates per-semantics, per-operation latency
+// histograms from Complete operation events.
+type Histograms = trace.Histograms
+
+// Histogram is the latency distribution of one (semantics, operation)
+// pair.
+type Histogram = trace.Histogram
+
+// NewHistogramSink creates an empty histogram aggregator.
+func NewHistogramSink() *Histograms { return trace.NewHistograms() }
+
+// ChromeExporter serializes events in the Chrome trace_event JSON
+// format, loadable in chrome://tracing and Perfetto.
+type ChromeExporter = trace.ChromeExporter
+
+// NewChromeSink creates a Chrome trace_event exporter.
+func NewChromeSink() *ChromeExporter { return trace.NewChromeExporter() }
+
+// MultiSink fans every event out to each given sink in order.
+func MultiSink(sinks ...Sink) Sink { return trace.Multi(sinks...) }
+
+// TraceOption refines what an installed tracer emits.
+type TraceOption func(*traceCfg)
+
+// traceCfg collects tracer refinements.
+type traceCfg struct {
+	cats map[EventCategory]bool
+}
+
+// TraceCategories restricts emission to the given event categories;
+// without it every category is emitted.
+func TraceCategories(cats ...EventCategory) TraceOption {
+	return func(c *traceCfg) {
+		if c.cats == nil {
+			c.cats = make(map[EventCategory]bool)
+		}
+		for _, cat := range cats {
+			c.cats[cat] = true
+		}
+	}
+}
+
+// filterSink drops events whose category is not selected.
+type filterSink struct {
+	next Sink
+	cats map[EventCategory]bool
+}
+
+func (f filterSink) Emit(ev Event) {
+	if f.cats[ev.Cat] {
+		f.next.Emit(ev)
+	}
+}
+
+// WithTracer installs sink as the network's structured event sink: both
+// hosts' frameworks, adapters, and VM systems emit into it, each host
+// under its own name. Inspect or extend the stream later through
+// Network.Tracer.
+func WithTracer(sink Sink, opts ...TraceOption) Option {
+	return func(o *options) {
+		var c traceCfg
+		for _, opt := range opts {
+			opt(&c)
+		}
+		if sink != nil && c.cats != nil {
+			sink = filterSink{next: sink, cats: c.cats}
+		}
+		o.sink = sink
+	}
+}

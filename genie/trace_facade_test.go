@@ -1,0 +1,264 @@
+package genie_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/genie"
+)
+
+// transferOnce sends one emulated-copy datagram across net and returns
+// the completed input.
+func transferOnce(t *testing.T, net *genie.Network, sem genie.Semantics, n int) *genie.InputOp {
+	t.Helper()
+	tx := net.HostA().NewProcess()
+	rx := net.HostB().NewProcess()
+	src, err := tx.Brk(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := rx.Brk(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(src, bytes.Repeat([]byte{7}, n)); err != nil {
+		t.Fatal(err)
+	}
+	_, in, err := net.Transfer(tx, rx, 1, sem, src, dst, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestTracerThroughFacade(t *testing.T) {
+	ring := genie.NewRingSink(1 << 14)
+	net, err := genie.New(genie.WithTracer(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Tracer() == nil {
+		t.Fatal("Tracer() is nil on a network built WithTracer")
+	}
+	transferOnce(t, net, genie.EmulatedCopy, 61440)
+	if ring.Total() == 0 {
+		t.Fatal("traced transfer emitted no events")
+	}
+	cats := map[genie.EventCategory]int{}
+	hosts := map[string]bool{}
+	for _, ev := range ring.Events() {
+		cats[ev.Cat]++
+		hosts[ev.Host] = true
+	}
+	for _, cat := range []genie.EventCategory{genie.CategoryOp, genie.CategoryVM, genie.CategoryNet} {
+		if cats[cat] == 0 {
+			t.Errorf("no %v events in a traced transfer", cat)
+		}
+	}
+	if !hosts["hostA"] || !hosts["hostB"] {
+		t.Errorf("events missing a host: %v", hosts)
+	}
+}
+
+func TestTracerUntracedNetworkHasNilHandle(t *testing.T) {
+	net, err := genie.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := net.Tracer(); tr != nil {
+		t.Fatalf("Tracer() = %v on an untraced network, want nil", tr)
+	}
+	// The nil handle must be safe to use.
+	net.Tracer().Instant(genie.CategoryOp, "noop", 0)
+}
+
+func TestTraceCategoriesFilter(t *testing.T) {
+	ring := genie.NewRingSink(1 << 14)
+	net, err := genie.New(genie.WithTracer(ring, genie.TraceCategories(genie.CategoryVM)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	transferOnce(t, net, genie.EmulatedCopy, 61440)
+	if ring.Total() == 0 {
+		t.Fatal("filtered tracer emitted nothing at all")
+	}
+	for _, ev := range ring.Events() {
+		if ev.Cat != genie.CategoryVM {
+			t.Fatalf("category filter leaked a %v event: %q", ev.Cat, ev.Name)
+		}
+	}
+}
+
+// TestTraceGoldenSpanSequence pins the per-operation charge sequence of
+// a traced emulated-copy transfer to the paper's Tables 2 and 3: output
+// prepare is Reference + ReadOnly (TCOW protection), output dispose is
+// Unreference, a preposted input charges BufAllocate at ready, and an
+// early-demultiplexed aligned input disposes with Swap + BufDeallocate.
+func TestTraceGoldenSpanSequence(t *testing.T) {
+	ring := genie.NewRingSink(1 << 14)
+	net, err := genie.New(genie.WithTracer(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	transferOnce(t, net, genie.EmulatedCopy, 61440)
+
+	type step struct{ host, stage, op string }
+	summary := map[string]bool{
+		"output.prepare": true, "output.dispose": true, "input.dispose": true,
+	}
+	var got []step
+	for _, ev := range ring.Events() {
+		if ev.Phase != genie.PhaseComplete || ev.Cat != genie.CategoryOp || summary[ev.Name] {
+			continue
+		}
+		got = append(got, step{ev.Host, ev.Stage, ev.Name})
+	}
+	want := []step{
+		{"hostB", "ready", "buffer allocate"},
+		{"hostA", "prepare", "reference"},
+		{"hostA", "prepare", "read-only"},
+		{"hostA", "dispose", "unreference"},
+		{"hostB", "dispose", "swap"},
+		{"hostB", "dispose", "buffer deallocate"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("charge sequence has %d steps, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("step %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBadLengthThroughFacade(t *testing.T) {
+	net, err := genie.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := net.HostA().NewProcess()
+	va, _ := p.Brk(4096)
+	for _, n := range []int{0, -1, 1 << 30} {
+		if _, err := p.Output(1, genie.EmulatedCopy, va, n); !errors.Is(err, genie.ErrBadBuffer) {
+			t.Errorf("Output length %d: err = %v, want ErrBadBuffer", n, err)
+		}
+		if _, err := p.Input(1, genie.Copy, va, n); !errors.Is(err, genie.ErrBadBuffer) {
+			t.Errorf("Input length %d: err = %v, want ErrBadBuffer", n, err)
+		}
+	}
+}
+
+func TestUnmatchedPortDropsThroughFacade(t *testing.T) {
+	ring := genie.NewRingSink(256)
+	net, err := genie.New(genie.WithTracer(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := net.HostA().NewProcess()
+	va, _ := tx.Brk(4096)
+	if err := tx.Write(va, []byte("nobody listens")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Output(9, genie.EmulatedCopy, va, 4096); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	// Under early demultiplexing a datagram with no posted input never
+	// reaches the framework: the adapter has nowhere to place it and
+	// drops it, which the trace records.
+	var dropped bool
+	for _, ev := range ring.Events() {
+		if ev.Name == "net.rx.drop" && ev.Host == "hostB" {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Error("no net.rx.drop event for a datagram with no posted input")
+	}
+}
+
+func TestMemoryExhaustionThroughFacade(t *testing.T) {
+	// Without demand paging, writing more pages than physical memory
+	// must fail with ErrOutOfMemory ...
+	net, err := genie.New(genie.WithMemory(96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := net.HostA().NewProcess()
+	pages := net.HostA().FreeFrames() + 8
+	va, err := p.Brk(pages * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(va, make([]byte, pages*4096)); !errors.Is(err, genie.ErrOutOfMemory) {
+		t.Errorf("write past physical memory: err = %v, want ErrOutOfMemory", err)
+	}
+
+	// ... and with it, the same pressure succeeds via pageout.
+	paged, err := genie.New(genie.WithMemory(96), genie.WithDemandPaging())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := paged.HostA().NewProcess()
+	va2, err := q.Brk(pages * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Write(va2, make([]byte, pages*4096)); err != nil {
+		t.Errorf("write under demand paging: %v", err)
+	}
+}
+
+// TestComposablePlatformNetwork asserts the new two-axis options agree
+// with the deprecated single-option spellings they replace.
+func TestComposablePlatformNetwork(t *testing.T) {
+	latency := func(opts ...genie.Option) genie.Duration {
+		net, err := genie.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := transferOnce(t, net, genie.EmulatedCopy, 61440)
+		return in.CompletedAt.Sub(genie.Time(0))
+	}
+	if a, b := latency(genie.WithNetwork(genie.OC12)), latency(genie.WithOC12()); a != b {
+		t.Errorf("WithNetwork(OC12) latency %v != WithOC12() latency %v", a, b)
+	}
+	if a, b := latency(genie.WithPlatform(genie.AlphaStation255), genie.WithNetwork(genie.OC3)),
+		latency(genie.WithPlatform(genie.AlphaStation255)); a != b {
+		t.Errorf("WithPlatform+WithNetwork(OC3) latency %v != WithPlatform alone %v", a, b)
+	}
+	if a, b := latency(), latency(genie.WithPlatform(genie.MicronP166)); a != b {
+		t.Errorf("default latency %v != explicit MicronP166 %v", a, b)
+	}
+}
+
+func TestNoAddrSystemAllocated(t *testing.T) {
+	net, err := genie.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := net.HostA().NewProcess()
+	rx := net.HostB().NewProcess()
+	r, err := tx.AllocIOBuffer(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(r.Start(), []byte("system placed")); err != nil {
+		t.Fatal(err)
+	}
+	_, in, err := net.Transfer(tx, rx, 1, genie.EmulatedMove, r.Start(), genie.NoAddr, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Addr == genie.NoAddr {
+		t.Fatal("system-allocated input reported NoAddr as its landing address")
+	}
+	got := make([]byte, 13)
+	if err := rx.Read(in.Addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "system placed" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -94,6 +95,7 @@ type Genie struct {
 
 	instr Instrumentation
 	stats Stats
+	tr    *trace.Tracer
 }
 
 // NewGenie creates a Genie instance and installs it as the NIC's
@@ -132,6 +134,7 @@ func (g *Genie) Reset() error {
 	g.stats = Stats{}
 	g.instr.Enabled = false
 	g.instr.Reset()
+	g.SetTracer(nil)
 	if err := g.kpool.Reacquire(); err != nil {
 		return fmt.Errorf("core: reset %s kernel pool: %w", g.name, err)
 	}
@@ -161,6 +164,18 @@ func (g *Genie) Stats() Stats { return g.stats }
 
 // Instr exposes the per-operation instrumentation.
 func (g *Genie) Instr() *Instrumentation { return &g.instr }
+
+// SetTracer installs a structured-event tracer on the data path (nil
+// disables tracing; the disabled path costs one branch and allocates
+// nothing). The kernel buffer pool shares the tracer so its
+// acquire/release traffic appears in the same stream.
+func (g *Genie) SetTracer(tr *trace.Tracer) {
+	g.tr = tr
+	g.kpool.SetTracer(tr, trace.CatNet, "pool.kbuf")
+}
+
+// Tracer returns the installed tracer (nil when tracing is disabled).
+func (g *Genie) Tracer() *trace.Tracer { return g.tr }
 
 // PreferredAlignment reports the input alignment the device prefers —
 // the query interface applications use for application input alignment
@@ -318,12 +333,18 @@ func (g *Genie) wireFrames(ref *vm.IORef) {
 	for _, f := range ref.Frames() {
 		g.sys.Phys().Wire(f)
 	}
+	if g.tr != nil {
+		g.tr.Instant(trace.CatVM, "vm.wire", len(ref.Frames())*g.pageSize())
+	}
 }
 
 // unwireFrames undoes wireFrames.
 func (g *Genie) unwireFrames(ref *vm.IORef) {
 	for _, f := range ref.Frames() {
 		g.sys.Phys().Unwire(f)
+	}
+	if g.tr != nil {
+		g.tr.Instant(trace.CatVM, "vm.unwire", len(ref.Frames())*g.pageSize())
 	}
 }
 

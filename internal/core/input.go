@@ -7,6 +7,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -30,6 +31,7 @@ type InputOp struct {
 	Done bool
 	Err  error
 
+	span       uint64 // trace span correlation id (0 when tracing is off)
 	onComplete func(*InputOp)
 
 	// Internal plumbing.
@@ -96,6 +98,11 @@ func (in *InputOp) Cancel() bool {
 	in.Done = true
 	in.Err = ErrCancelled
 	in.CompletedAt = g.eng.Now()
+	if g.tr != nil {
+		g.tr.Instant(trace.CatOp, "input.cancel", in.Want)
+		g.tr.Emit(trace.Event{At: in.CompletedAt, Phase: trace.End, Cat: trace.CatOp, Name: "input",
+			Sem: in.Sem.String(), Port: in.Port, Bytes: in.Want, Span: in.span})
+	}
 	return true
 }
 
@@ -145,6 +152,11 @@ func (p *Process) Input(port int, sem Semantics, va vm.Addr, length int) (*Input
 		return nil, err
 	}
 	g.stats.Inputs++
+	if g.tr != nil {
+		in.span = g.tr.NewSpan()
+		g.tr.Emit(trace.Event{At: in.PostedAt, Phase: trace.Begin, Cat: trace.CatOp, Name: "input",
+			Sem: sem.String(), Port: port, Bytes: length, Span: in.span})
+	}
 
 	scheme := g.nic.Buffering()
 	var prep []charge
@@ -161,7 +173,7 @@ func (p *Process) Input(port int, sem Semantics, va vm.Addr, length int) (*Input
 			}
 			in.kbuf = kbuf
 			g.nic.PostInput(port, kbuf)
-			g.chargeSet(StageReady, []charge{{cost.BufAllocate, length}}, &in.ReceiverCPU)
+			g.chargeSet(StageReady, in.octx(), []charge{{cost.BufAllocate, length}}, &in.ReceiverCPU)
 		}
 
 	case EmulatedCopy:
@@ -180,7 +192,7 @@ func (p *Process) Input(port int, sem Semantics, va vm.Addr, length int) (*Input
 			}
 			in.kbuf = kbuf
 			g.nic.PostInput(port, kbuf)
-			g.chargeSet(StageReady, []charge{{cost.BufAllocate, length}}, &in.ReceiverCPU)
+			g.chargeSet(StageReady, in.octx(), []charge{{cost.BufAllocate, length}}, &in.ReceiverCPU)
 		}
 
 	case Share, EmulatedShare:
@@ -210,7 +222,7 @@ func (p *Process) Input(port int, sem Semantics, va vm.Addr, length int) (*Input
 			}
 			in.kbuf = kbuf
 			g.nic.PostInput(port, kbuf)
-			g.chargeSet(StageReady, []charge{{cost.BufAllocate, length}}, &in.ReceiverCPU)
+			g.chargeSet(StageReady, in.octx(), []charge{{cost.BufAllocate, length}}, &in.ReceiverCPU)
 		}
 
 	case EmulatedMove, WeakMove, EmulatedWeakMove:
@@ -236,7 +248,7 @@ func (p *Process) Input(port int, sem Semantics, va vm.Addr, length int) (*Input
 		}
 	}
 
-	g.chargeSet(StagePrepare, prep, &in.ReceiverCPU)
+	g.chargeSet(StagePrepare, in.octx(), prep, &in.ReceiverCPU)
 	g.recvQ[port] = append(g.recvQ[port], in)
 	return in, nil
 }

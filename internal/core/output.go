@@ -6,6 +6,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -25,6 +26,7 @@ type OutputOp struct {
 	Done bool
 	Err  error
 
+	span   uint64 // trace span correlation id (0 when tracing is off)
 	onDone func(*OutputOp)
 }
 
@@ -250,8 +252,18 @@ func refPayload(ref *vm.IORef, length int) func() ([]byte, error) {
 // launchOutput charges prepare, schedules transmission after the prepare
 // latency, and hooks dispose to the adapter's completion callback.
 func (g *Genie) launchOutput(op *OutputOp, prep []charge, payload func() ([]byte, error), dispose func() []charge) {
-	prepDur := g.chargeSet(StagePrepare, prep, &op.SenderCPU)
+	if g.tr != nil {
+		op.span = g.tr.NewSpan()
+		g.tr.Emit(trace.Event{At: op.StartedAt, Phase: trace.Begin, Cat: trace.CatOp, Name: "output",
+			Sem: op.Effective.String(), Port: op.Port, Bytes: op.Len, Span: op.span})
+	}
+	prepDur := g.chargeSet(StagePrepare, op.octx(), prep, &op.SenderCPU)
 	op.PreparedAt = g.eng.Now().Add(prepDur)
+	if g.tr != nil {
+		g.tr.Emit(trace.Event{At: op.StartedAt, Dur: prepDur, Phase: trace.Complete, Cat: trace.CatOp,
+			Name: "output.prepare", Sem: op.Effective.String(), Stage: StagePrepare.String(),
+			Port: op.Port, Bytes: op.Len, Span: op.span})
+	}
 	g.eng.Schedule(prepDur, func() {
 		data, err := payload()
 		if err != nil {
@@ -261,8 +273,15 @@ func (g *Genie) launchOutput(op *OutputOp, prep []charge, payload func() ([]byte
 		}
 		err = g.nic.TransmitDatagram(op.Port, data, func() {
 			ch := dispose()
-			g.chargeSet(StageDispose, ch, &op.SenderCPU)
+			dispDur := g.chargeSet(StageDispose, op.octx(), ch, &op.SenderCPU)
 			op.SentAt = g.eng.Now()
+			if g.tr != nil {
+				g.tr.Emit(trace.Event{At: op.SentAt, Dur: dispDur, Phase: trace.Complete, Cat: trace.CatOp,
+					Name: "output.dispose", Sem: op.Effective.String(), Stage: StageDispose.String(),
+					Port: op.Port, Bytes: op.Len, Span: op.span})
+				g.tr.Emit(trace.Event{At: op.SentAt, Phase: trace.End, Cat: trace.CatOp, Name: "output",
+					Sem: op.Effective.String(), Port: op.Port, Bytes: op.Len, Span: op.span})
+			}
 			op.Done = true
 			if op.onDone != nil {
 				op.onDone(op)

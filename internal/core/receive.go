@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -19,6 +20,9 @@ func (g *Genie) onReceive(pkt netsim.Packet) {
 	q := g.recvQ[pkt.Port]
 	if len(q) == 0 {
 		g.stats.Dropped++
+		if g.tr != nil {
+			g.tr.Instant(trace.CatOp, "input.unmatched", pkt.Length)
+		}
 		g.releasePacket(pkt)
 		return
 	}
@@ -55,10 +59,19 @@ func (g *Genie) onReceive(pkt netsim.Packet) {
 	g.cpuFreeAt = start.Add(busy)
 	done := start.Add(lat)
 
+	if g.tr != nil && err == nil {
+		g.tr.Emit(trace.Event{At: start, Dur: lat, Phase: trace.Complete, Cat: trace.CatOp,
+			Name: "input.dispose", Sem: in.Sem.String(), Stage: StageDispose.String(),
+			Port: in.Port, Bytes: in.N, Span: in.span})
+	}
 	g.eng.ScheduleAt(done, func() {
 		in.Err = err
 		in.Done = true
 		in.CompletedAt = g.eng.Now()
+		if g.tr != nil {
+			g.tr.Emit(trace.Event{At: in.CompletedAt, Phase: trace.End, Cat: trace.CatOp, Name: "input",
+				Sem: in.Sem.String(), Port: in.Port, Bytes: in.N, Span: in.span})
+		}
 		if in.onComplete != nil {
 			in.onComplete(in)
 		}
@@ -90,9 +103,9 @@ func (g *Genie) disposeEarlyDemux(in *InputOp) (sim.Duration, error) {
 			data, sum := splitTrailer(raw)
 			ch, _, verr := g.verifyCopyInput(in, data, sum)
 			in.Addr = in.va
-			lat := g.chargeSet(StageDispose, ch, &in.ReceiverCPU)
+			lat := g.chargeSet(StageDispose, in.octx(), ch, &in.ReceiverCPU)
 			in.kbuf.free()
-			g.chargeSet(StageDispose, []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
+			g.chargeSet(StageDispose, in.octx(), []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
 			return lat, verr
 		}
 		data := make([]byte, n)
@@ -101,11 +114,11 @@ func (g *Genie) disposeEarlyDemux(in *InputOp) (sim.Duration, error) {
 			return 0, err
 		}
 		in.Addr = in.va
-		lat := g.chargeSet(StageDispose, []charge{{cost.Copyout, n}}, &in.ReceiverCPU)
+		lat := g.chargeSet(StageDispose, in.octx(), []charge{{cost.Copyout, n}}, &in.ReceiverCPU)
 		// Buffer deallocation is deferred past app notification; it
 		// costs CPU but no latency.
 		in.kbuf.free()
-		g.chargeSet(StageDispose, []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
+		g.chargeSet(StageDispose, in.octx(), []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
 		return lat, nil
 
 	case EmulatedCopy:
@@ -120,9 +133,9 @@ func (g *Genie) disposeEarlyDemux(in *InputOp) (sim.Duration, error) {
 			verifyCh = []charge{{cost.ChecksumRead, n}}
 			if !checksumVerify(data, sum) {
 				in.Addr = in.va
-				lat := g.chargeSet(StageDispose, verifyCh, &in.ReceiverCPU)
+				lat := g.chargeSet(StageDispose, in.octx(), verifyCh, &in.ReceiverCPU)
 				in.kbuf.free()
-				g.chargeSet(StageDispose, []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
+				g.chargeSet(StageDispose, in.octx(), []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
 				return lat, ErrChecksum
 			}
 		}
@@ -132,29 +145,29 @@ func (g *Genie) disposeEarlyDemux(in *InputOp) (sim.Duration, error) {
 		}
 		in.kbuf.frames = nil // ownership transferred by emcopyDispose
 		in.Addr = in.va
-		lat := g.chargeSet(StageDispose, append(verifyCh, ch...), &in.ReceiverCPU)
-		g.chargeSet(StageDispose, []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
+		lat := g.chargeSet(StageDispose, in.octx(), append(verifyCh, ch...), &in.ReceiverCPU)
+		g.chargeSet(StageDispose, in.octx(), []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
 		return lat, nil
 
 	case Share:
 		g.unwireFrames(in.ref)
 		in.ref.Unreference()
 		in.Addr = in.va
-		return g.chargeSet(StageDispose, []charge{
+		return g.chargeSet(StageDispose, in.octx(), []charge{
 			{cost.Unwire, n}, {cost.Unreference, n},
 		}, &in.ReceiverCPU), nil
 
 	case EmulatedShare:
 		in.ref.Unreference()
 		in.Addr = in.va
-		return g.chargeSet(StageDispose, []charge{{cost.Unreference, n}}, &in.ReceiverCPU), nil
+		return g.chargeSet(StageDispose, in.octx(), []charge{{cost.Unreference, n}}, &in.ReceiverCPU), nil
 
 	case Move:
 		ch, err := g.buildRegionFromKernelBuffer(in, in.kbuf, n)
 		if err != nil {
 			return 0, err
 		}
-		return g.chargeSet(StageDispose, ch, &in.ReceiverCPU), nil
+		return g.chargeSet(StageDispose, in.octx(), ch, &in.ReceiverCPU), nil
 
 	case EmulatedMove:
 		r, err := g.checkRegion(p, in.region, in.ref, in.Want)
@@ -167,7 +180,7 @@ func (g *Genie) disposeEarlyDemux(in *InputOp) (sim.Duration, error) {
 			return 0, err
 		}
 		in.Region, in.Addr = r, r.Start()
-		return g.chargeSet(StageDispose, []charge{
+		return g.chargeSet(StageDispose, in.octx(), []charge{
 			{cost.RegionCheckUnrefReinstateMarkIn, n},
 		}, &in.ReceiverCPU), nil
 
@@ -182,7 +195,7 @@ func (g *Genie) disposeEarlyDemux(in *InputOp) (sim.Duration, error) {
 			return 0, err
 		}
 		in.Region, in.Addr = r, r.Start()
-		return g.chargeSet(StageDispose, []charge{
+		return g.chargeSet(StageDispose, in.octx(), []charge{
 			{cost.RegionCheck, 0}, {cost.Unwire, n}, {cost.Unreference, n}, {cost.RegionMarkIn, 0},
 		}, &in.ReceiverCPU), nil
 
@@ -196,7 +209,7 @@ func (g *Genie) disposeEarlyDemux(in *InputOp) (sim.Duration, error) {
 			return 0, err
 		}
 		in.Region, in.Addr = r, r.Start()
-		return g.chargeSet(StageDispose, []charge{
+		return g.chargeSet(StageDispose, in.octx(), []charge{
 			{cost.RegionCheckUnrefMarkIn, n},
 		}, &in.ReceiverCPU), nil
 	}
@@ -210,7 +223,7 @@ func (g *Genie) disposePooled(in *InputOp, pkt netsim.Packet) (sim.Duration, err
 	p := in.proc
 	n := in.N
 	pool := g.nic.Pool()
-	lat := g.chargeSet(StageReady, []charge{
+	lat := g.chargeSet(StageReady, in.octx(), []charge{
 		{cost.OverlayAllocate, n}, {cost.Overlay, n},
 	}, &in.ReceiverCPU)
 
@@ -222,7 +235,7 @@ func (g *Genie) disposePooled(in *InputOp, pkt netsim.Packet) (sim.Duration, err
 		}
 		pool.Put(pkt.Overlay...)
 		in.Addr = in.va
-		lat += g.chargeSet(StageDispose, []charge{
+		lat += g.chargeSet(StageDispose, in.octx(), []charge{
 			{cost.Copyout, n}, {cost.OverlayDeallocate, n},
 		}, &in.ReceiverCPU)
 		return lat, nil
@@ -234,7 +247,7 @@ func (g *Genie) disposePooled(in *InputOp, pkt netsim.Packet) (sim.Duration, err
 		}
 		in.Addr = in.va
 		ch = append(ch, charge{cost.OverlayDeallocate, n})
-		return lat + g.chargeSet(StageDispose, ch, &in.ReceiverCPU), nil
+		return lat + g.chargeSet(StageDispose, in.octx(), ch, &in.ReceiverCPU), nil
 
 	case Share, EmulatedShare:
 		var ch []charge
@@ -251,14 +264,14 @@ func (g *Genie) disposePooled(in *InputOp, pkt netsim.Packet) (sim.Duration, err
 		in.Addr = in.va
 		ch = append(ch, moveCh...)
 		ch = append(ch, charge{cost.OverlayDeallocate, n})
-		return lat + g.chargeSet(StageDispose, ch, &in.ReceiverCPU), nil
+		return lat + g.chargeSet(StageDispose, in.octx(), ch, &in.ReceiverCPU), nil
 
 	case Move:
 		ch, err := g.buildRegionFromOverlay(in, pkt, pool)
 		if err != nil {
 			return 0, err
 		}
-		return lat + g.chargeSet(StageDispose, ch, &in.ReceiverCPU), nil
+		return lat + g.chargeSet(StageDispose, in.octx(), ch, &in.ReceiverCPU), nil
 
 	case EmulatedMove, WeakMove, EmulatedWeakMove:
 		r, err := g.checkRegion(p, in.region, in.ref, in.Want)
@@ -300,7 +313,7 @@ func (g *Genie) disposePooled(in *InputOp, pkt netsim.Packet) (sim.Duration, err
 				charge{cost.Swap, n}, charge{cost.RegionMarkIn, 0})
 		}
 		ch = append(ch, charge{cost.OverlayDeallocate, n})
-		return lat + g.chargeSet(StageDispose, ch, &in.ReceiverCPU), nil
+		return lat + g.chargeSet(StageDispose, in.octx(), ch, &in.ReceiverCPU), nil
 	}
 	return 0, fmt.Errorf("%w: %v", ErrBadSemantics, in.Sem)
 }
@@ -314,7 +327,7 @@ func (g *Genie) disposeOutboard(in *InputOp, pkt netsim.Packet) (sim.Duration, e
 	n := in.N
 	ob := pkt.Outboard
 	defer ob.Free()
-	defer g.chargeSet(StageDispose, []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
+	defer g.chargeSet(StageDispose, in.octx(), []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
 
 	switch in.Sem {
 	case Copy:
@@ -330,7 +343,7 @@ func (g *Genie) disposeOutboard(in *InputOp, pkt netsim.Packet) (sim.Duration, e
 		}
 		kbuf.free()
 		in.Addr = in.va
-		return g.chargeSet(StageDispose, []charge{
+		return g.chargeSet(StageDispose, in.octx(), []charge{
 			{cost.BufAllocate, n}, {cost.OutboardDMA, n}, {cost.Copyout, n},
 		}, &in.ReceiverCPU), nil
 
@@ -342,7 +355,7 @@ func (g *Genie) disposeOutboard(in *InputOp, pkt netsim.Packet) (sim.Duration, e
 		ob.DMAToHost(ref)
 		ref.Unreference()
 		in.Addr = in.va
-		return g.chargeSet(StageDispose, []charge{
+		return g.chargeSet(StageDispose, in.octx(), []charge{
 			{cost.Reference, n}, {cost.OutboardDMA, n}, {cost.Unreference, n},
 		}, &in.ReceiverCPU), nil
 
@@ -356,7 +369,7 @@ func (g *Genie) disposeOutboard(in *InputOp, pkt netsim.Packet) (sim.Duration, e
 		in.ref.Unreference()
 		ch = append(ch, charge{cost.Unreference, n})
 		in.Addr = in.va
-		return g.chargeSet(StageDispose, ch, &in.ReceiverCPU), nil
+		return g.chargeSet(StageDispose, in.octx(), ch, &in.ReceiverCPU), nil
 
 	case Move:
 		kbuf, err := g.allocKernelBuffer(0, n)
@@ -369,7 +382,7 @@ func (g *Genie) disposeOutboard(in *InputOp, pkt netsim.Packet) (sim.Duration, e
 			return 0, err
 		}
 		ch = append([]charge{{cost.BufAllocate, n}, {cost.OutboardDMA, n}}, ch...)
-		return g.chargeSet(StageDispose, ch, &in.ReceiverCPU), nil
+		return g.chargeSet(StageDispose, in.octx(), ch, &in.ReceiverCPU), nil
 
 	case EmulatedMove, WeakMove, EmulatedWeakMove:
 		ob.DMAToHost(in.ref)
@@ -396,7 +409,7 @@ func (g *Genie) disposeOutboard(in *InputOp, pkt netsim.Packet) (sim.Duration, e
 			return 0, err
 		}
 		in.Region, in.Addr = r, r.Start()
-		return g.chargeSet(StageDispose, ch, &in.ReceiverCPU), nil
+		return g.chargeSet(StageDispose, in.octx(), ch, &in.ReceiverCPU), nil
 	}
 	return 0, fmt.Errorf("%w: %v", ErrBadSemantics, in.Sem)
 }

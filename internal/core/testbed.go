@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -127,6 +128,24 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 
 // Run drains the simulation.
 func (tb *Testbed) Run() sim.Time { return tb.Eng.Run() }
+
+// SetTracer installs a structured-event tracer on the testbed: every
+// layer of both hosts (framework, adapter, VM) emits into the same sink,
+// each host under its own name and all events stamped from the shared
+// simulation clock. A nil base detaches tracing everywhere. Testbed
+// Reset also clears tracing (via the per-component Resets), so recycled
+// testbeds never leak events into a later experiment.
+func (tb *Testbed) SetTracer(base *trace.Tracer) {
+	for _, h := range []*Host{tb.A, tb.B} {
+		var tr *trace.Tracer
+		if base != nil {
+			tr = base.WithClock(tb.Eng).WithHost(h.Name)
+		}
+		h.Genie.SetTracer(tr)
+		h.NIC.SetTracer(tr)
+		h.Sys.SetTracer(tr)
+	}
+}
 
 // Reset returns the whole testbed object graph to its post-construction
 // state without reallocating frame backing stores: the engine clock and

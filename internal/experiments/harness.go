@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -33,6 +34,13 @@ type Setup struct {
 	Genie core.Config
 	// Instrument records primitive-operation latencies for Table 6.
 	Instrument bool
+	// Tracer, when non-nil, receives the structured event stream of the
+	// run (operation spans, charges, VM and network events). A traced
+	// point always performs the real simulation — the measurement cache
+	// is bypassed so every event is re-emitted — but the returned
+	// numbers are identical to an untraced run: tracing reads the
+	// simulation, it never perturbs it.
+	Tracer *trace.Tracer
 }
 
 // model resolves the setup's cost model. Models are immutable after
@@ -103,7 +111,9 @@ func (m Measurement) ThroughputMbps() float64 {
 // SetRecycling); both layers are transparent — output is byte-identical
 // to a cold Measure on a fresh testbed.
 func Measure(s Setup, sem core.Semantics, length int) (Measurement, error) {
-	if c := measureCache.Load(); c != nil {
+	// Traced runs bypass the memo cache: the caller wants the event
+	// stream, which only a real simulation produces.
+	if c := measureCache.Load(); c != nil && s.Tracer == nil {
 		return c.Measure(s, sem, length)
 	}
 	return measureUncached(s, sem, length)
@@ -133,6 +143,11 @@ func measureOn(tb *core.Testbed, s Setup, sem core.Semantics, length int) (Measu
 	if s.Instrument {
 		tb.A.Genie.Instr().Enabled = true
 		tb.B.Genie.Instr().Enabled = true
+	}
+	if s.Tracer != nil {
+		// Reset (on release or reacquisition) detaches the tracer again,
+		// so recycled testbeds never emit into a stale sink.
+		tb.SetTracer(s.Tracer)
 	}
 	sender := tb.A.Genie.NewProcess()
 	receiver := tb.B.Genie.NewProcess()

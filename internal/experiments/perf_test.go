@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 )
 
 // withPerfRegime runs f with caching, recycling, and parallelism pinned,
@@ -35,11 +36,18 @@ func withPerfRegime(t *testing.T, cache, recycle bool, workers int, f func()) {
 // ablations — and renders them into one string.
 func renderFullSet(t *testing.T) string {
 	t.Helper()
+	return renderFullSetWith(t, Setup{})
+}
+
+// renderFullSetWith is renderFullSet with base threaded into every
+// generator that takes a Setup (the ablations fix their own setups).
+func renderFullSetWith(t *testing.T, base Setup) string {
+	t.Helper()
 	fig := func(fn func(Setup) (Figure, error)) func() (string, error) {
-		return func() (string, error) { f, err := fn(Setup{}); return f.String(), err }
+		return func() (string, error) { f, err := fn(base); return f.String(), err }
 	}
 	tabS := func(fn func(Setup) (Table, error)) func() (string, error) {
-		return func() (string, error) { tb, err := fn(Setup{}); return tb.String(), err }
+		return func() (string, error) { tb, err := fn(base); return tb.String(), err }
 	}
 	tab := func(fn func() (Table, error)) func() (string, error) {
 		return func() (string, error) { tb, err := fn(); return tb.String(), err }
@@ -77,17 +85,35 @@ func TestFullSetByteIdenticalAcrossRegimes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("three full evaluation runs in -short mode")
 	}
-	var coldSerial, cachedSerial, cachedParallel string
+	var coldSerial, cachedSerial, cachedParallel, traced string
+	sink := &discardCount{}
 	withPerfRegime(t, false, false, 1, func() { coldSerial = renderFullSet(t) })
 	withPerfRegime(t, true, true, 1, func() { cachedSerial = renderFullSet(t) })
 	withPerfRegime(t, true, true, 8, func() { cachedParallel = renderFullSet(t) })
+	// Tracing must observe without perturbing: a fully traced run (which
+	// bypasses the memo cache point by point) renders the same bytes.
+	// Serial, because the bundled sinks are not synchronized.
+	withPerfRegime(t, true, true, 1, func() {
+		traced = renderFullSetWith(t, Setup{Tracer: trace.New(sink)})
+	})
 	if cachedSerial != coldSerial {
 		t.Errorf("cached serial output differs from cold serial output")
 	}
 	if cachedParallel != coldSerial {
 		t.Errorf("cached parallel-8 output differs from cold serial output")
 	}
+	if traced != coldSerial {
+		t.Errorf("traced output differs from cold serial output")
+	}
+	if sink.n == 0 {
+		t.Error("traced full set emitted no events")
+	}
 }
+
+// discardCount counts emitted events and drops them.
+type discardCount struct{ n uint64 }
+
+func (s *discardCount) Emit(trace.Event) { s.n++ }
 
 // TestCacheSharesPointsAcrossGenerators asserts the cache actually
 // dedupes across generators: Figure 3 and its throughput table probe

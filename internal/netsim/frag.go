@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Fragmentation support: with a nonzero MTU, Transmit splits a datagram
@@ -78,9 +79,17 @@ func (n *NIC) TransmitDatagram(port int, payload []byte, onSent func()) error {
 		if off > 0 {
 			wire += cellTime
 		}
+		if n.tr != nil {
+			n.tr.Emit(trace.Event{At: start, Dur: sim.Duration(wire), Phase: trace.Complete,
+				Cat: trace.CatNet, Name: "net.tx.frag", Port: port, Bytes: len(frag.data)})
+		}
 		start = start.Add(sim.Duration(wire))
 		deliver := start.Add(sim.Duration(n.link.fixedUS))
 		if frag.last {
+			if n.tr != nil {
+				n.tr.Emit(trace.Event{At: start, Dur: sim.Duration(n.link.fixedUS), Phase: trace.Complete,
+					Cat: trace.CatNet, Name: "net.deliver", Port: port, Bytes: total})
+			}
 			if onSent != nil {
 				n.eng.ScheduleAt(start, onSent)
 			}
@@ -95,6 +104,10 @@ func (n *NIC) TransmitDatagram(port int, payload []byte, onSent func()) error {
 // receiveFragment places one fragment according to the input
 // architecture and delivers the datagram on the last fragment.
 func (n *NIC) receiveFragment(f fragment) {
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: n.eng.Now(), Phase: trace.Instant, Cat: trace.CatNet,
+			Name: "net.rx.frag", Port: f.port, Bytes: len(f.data)})
+	}
 	r := n.reasm[f.port]
 	if r == nil {
 		r = &reassembly{}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // InputBuffering selects the adapter's input architecture.
@@ -126,6 +127,7 @@ type NIC struct {
 	busyUntil sim.Time // transmit-side serialization
 	corruptAt int      // fault injection: flip this payload byte next tx
 	stats     Stats
+	tr        *trace.Tracer
 }
 
 // NICConfig configures a NIC.
@@ -195,7 +197,20 @@ func (n *NIC) Reset() error {
 	if n.outboard != nil {
 		n.outboard.Reset()
 	}
+	n.SetTracer(nil)
 	return nil
+}
+
+// SetTracer installs a structured-event tracer on the adapter (nil
+// disables). The overlay pool and outboard staging memory share it.
+func (n *NIC) SetTracer(tr *trace.Tracer) {
+	n.tr = tr
+	if n.pool != nil {
+		n.pool.SetTracer(tr, trace.CatNet, "net.overlay")
+	}
+	if n.outboard != nil {
+		n.outboard.SetTracer(tr)
+	}
 }
 
 // MTU returns the fragmentation threshold (0 = none).
@@ -280,6 +295,12 @@ func (n *NIC) Transmit(port int, payload []byte, onSent func()) error {
 	n.busyUntil = start.Add(wire)
 	peer := n.peer
 
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: start, Dur: wire, Phase: trace.Complete, Cat: trace.CatNet,
+			Name: "net.tx", Port: port, Bytes: len(payload)})
+		n.tr.Emit(trace.Event{At: n.busyUntil, Dur: sim.Duration(n.link.fixedUS), Phase: trace.Complete,
+			Cat: trace.CatNet, Name: "net.deliver", Port: port, Bytes: len(payload)})
+	}
 	if onSent != nil {
 		n.eng.ScheduleAt(n.busyUntil, onSent)
 	}
@@ -302,6 +323,10 @@ func (n *NIC) receive(port int, payload []byte) {
 			n.posted[port] = q[1:]
 			limit := min(len(payload), post.target.Len())
 			post.target.DMAWrite(0, payload[:limit])
+			if n.tr != nil {
+				n.tr.Emit(trace.Event{At: n.eng.Now(), Phase: trace.Instant, Cat: trace.CatNet,
+					Name: "net.rx.dma", Port: port, Bytes: limit})
+			}
 			pkt.Direct = true
 			pkt.Target = post.target
 			pkt.Length = limit
@@ -311,6 +336,7 @@ func (n *NIC) receive(port int, payload []byte) {
 		// buffering if a pool exists (Section 6.2.2), else drop.
 		if n.pool == nil {
 			n.stats.Dropped++
+			n.dropEvent(port, len(payload))
 			return
 		}
 		fallthrough
@@ -320,6 +346,7 @@ func (n *NIC) receive(port int, payload []byte) {
 		if err != nil {
 			n.stats.PoolFailures++
 			n.stats.Dropped++
+			n.dropEvent(port, len(payload))
 			return
 		}
 		writeToFrames(frames, n.overlayOff, payload)
@@ -330,6 +357,7 @@ func (n *NIC) receive(port int, payload []byte) {
 		buf, err := n.outboard.Alloc(len(payload))
 		if err != nil {
 			n.stats.Dropped++
+			n.dropEvent(port, len(payload))
 			return
 		}
 		copy(buf.data, payload)
@@ -340,6 +368,16 @@ func (n *NIC) receive(port int, payload []byte) {
 		n.rx(pkt)
 	} else {
 		n.stats.Dropped++
+		n.dropEvent(port, len(payload))
+	}
+}
+
+// dropEvent emits the adapter-level drop instant (no posted buffer, pool
+// depletion, outboard exhaustion, or no protocol stack attached).
+func (n *NIC) dropEvent(port, bytes int) {
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: n.eng.Now(), Phase: trace.Instant, Cat: trace.CatNet,
+			Name: "net.rx.drop", Port: port, Bytes: bytes})
 	}
 }
 

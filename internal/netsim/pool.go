@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // OverlayPool is an I/O module's private pool of fixed-size overlay
@@ -16,6 +17,28 @@ type OverlayPool struct {
 	pm    *mem.PhysMem
 	free  []*mem.Frame
 	total int
+
+	// Tracing: event names are precomputed at SetTracer time so the hot
+	// path emits without concatenating strings.
+	tr         *trace.Tracer
+	trCat      trace.Category
+	acqName    string
+	relName    string
+	refillName string
+}
+
+// SetTracer installs (or with nil removes) a tracer on the pool. Events
+// are named name+".acquire", name+".release", and name+".refill" under
+// category cat, so the kernel buffer pool and the device overlay pool
+// stay distinguishable in one stream.
+func (p *OverlayPool) SetTracer(tr *trace.Tracer, cat trace.Category, name string) {
+	p.tr = tr
+	p.trCat = cat
+	if tr != nil {
+		p.acqName = name + ".acquire"
+		p.relName = name + ".release"
+		p.refillName = name + ".refill"
+	}
 }
 
 // NewOverlayPool preallocates npages overlay pages.
@@ -55,6 +78,9 @@ func (p *OverlayPool) Get(n int) ([]*mem.Frame, error) {
 	frames := make([]*mem.Frame, n)
 	copy(frames, p.free[len(p.free)-n:])
 	p.free = p.free[:len(p.free)-n]
+	if p.tr != nil {
+		p.tr.Instant(p.trCat, p.acqName, n*p.pm.PageSize())
+	}
 	return frames, nil
 }
 
@@ -63,6 +89,9 @@ func (p *OverlayPool) Put(frames ...*mem.Frame) {
 	p.free = append(p.free, frames...)
 	if len(p.free) > p.total {
 		panic(fmt.Sprintf("netsim: overlay pool overfilled: %d > %d", len(p.free), p.total))
+	}
+	if p.tr != nil {
+		p.tr.Instant(p.trCat, p.relName, len(frames)*p.pm.PageSize())
 	}
 }
 
@@ -75,6 +104,9 @@ func (p *OverlayPool) Refill(n int) error {
 			return fmt.Errorf("netsim: overlay refill: %w", err)
 		}
 		p.free = append(p.free, f)
+	}
+	if p.tr != nil {
+		p.tr.Instant(p.trCat, p.refillName, n*p.pm.PageSize())
 	}
 	return nil
 }
@@ -120,7 +152,12 @@ func (p *OverlayPool) Destroy() {
 type OutboardMemory struct {
 	capacity int
 	used     int
+	tr       *trace.Tracer
 }
+
+// SetTracer installs (or with nil removes) a tracer on the adapter
+// memory; staged buffers inherit it for their host-DMA events.
+func (o *OutboardMemory) SetTracer(tr *trace.Tracer) { o.tr = tr }
 
 // NewOutboardMemory creates adapter memory of the given byte capacity.
 func NewOutboardMemory(capacity int) *OutboardMemory {
@@ -142,6 +179,9 @@ func (o *OutboardMemory) Alloc(n int) (*OutboardBuffer, error) {
 		return nil, fmt.Errorf("%w: need %d, free %d", ErrOutboardFull, n, o.capacity-o.used)
 	}
 	o.used += n
+	if o.tr != nil {
+		o.tr.Instant(trace.CatNet, "net.outboard.stage", n)
+	}
 	return &OutboardBuffer{mem: o, data: make([]byte, n)}, nil
 }
 
@@ -160,6 +200,9 @@ func (b *OutboardBuffer) Len() int { return len(b.data) }
 func (b *OutboardBuffer) DMAToHost(target DMATarget) {
 	limit := min(len(b.data), target.Len())
 	target.DMAWrite(0, b.data[:limit])
+	if b.mem.tr != nil {
+		b.mem.tr.Instant(trace.CatNet, "net.outboard.dma", limit)
+	}
 }
 
 // Bytes exposes the staged payload (for checksum engines and tests).

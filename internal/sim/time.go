@@ -58,3 +58,10 @@ func (d Duration) Seconds() float64 { return float64(d) / 1e6 }
 
 func (t Time) String() string     { return fmt.Sprintf("%.3fus", float64(t)) }
 func (d Duration) String() string { return fmt.Sprintf("%.3fus", float64(d)) }
+
+// Clock reads the current virtual time. *Engine satisfies it; layers
+// that only need "what time is it" (tracing, VM instrumentation) take a
+// Clock instead of the whole engine.
+type Clock interface {
+	Now() Time
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// ChromeExporter collects events and serializes them in the Chrome
+// trace_event JSON array format, loadable in chrome://tracing and
+// Perfetto. Processes group independent simulation runs (one exemplar
+// per figure, say); threads within a process are derived from host
+// names, so the two testbed hosts render as parallel tracks.
+type ChromeExporter struct {
+	events []chromeRecord
+	pid    int
+	tids   map[string]int
+	meta   []chromeEvent
+}
+
+// chromeRecord pairs an event with the process it was emitted under.
+type chromeRecord struct {
+	ev  Event
+	pid int
+}
+
+// chromeEvent is one serialized trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   uint64         `json:"id,omitempty"` // async event correlation
+	S    string         `json:"s,omitempty"`  // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level JSON object format.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// NewChromeExporter creates an exporter with a single anonymous
+// process. Call SetProcess to start a named process group.
+func NewChromeExporter() *ChromeExporter {
+	return &ChromeExporter{pid: 1, tids: make(map[string]int)}
+}
+
+// SetProcess starts a new process group: subsequent events are tagged
+// with pid, and a process_name metadata record is written so the viewer
+// labels the track.
+func (c *ChromeExporter) SetProcess(pid int, name string) {
+	c.pid = pid
+	c.meta = append(c.meta, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Emit implements Sink.
+func (c *ChromeExporter) Emit(ev Event) {
+	c.events = append(c.events, chromeRecord{ev: ev, pid: c.pid})
+}
+
+// tid maps a host name to a stable thread id within the export.
+func (c *ChromeExporter) tid(host string) int {
+	if host == "" {
+		return 0
+	}
+	id, ok := c.tids[host]
+	if !ok {
+		id = len(c.tids) + 1
+		c.tids[host] = id
+	}
+	return id
+}
+
+// WriteTo serializes the collected events as one JSON document. Events
+// are sorted by timestamp (stable, preserving emission order within a
+// tie), so the output has monotonic non-decreasing timestamps per
+// process — the property the CI schema check validates.
+func (c *ChromeExporter) WriteTo(w io.Writer) (int64, error) {
+	out := make([]chromeEvent, 0, len(c.meta)+len(c.events)+len(c.tids))
+	out = append(out, c.meta...)
+
+	recs := make([]chromeRecord, len(c.events))
+	copy(recs, c.events)
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].pid != recs[j].pid {
+			return recs[i].pid < recs[j].pid
+		}
+		return recs[i].ev.At < recs[j].ev.At
+	})
+
+	// Thread-name metadata: one record per (pid, host) pair in use.
+	named := make(map[[2]int]bool)
+	for _, r := range recs {
+		tid := c.tid(r.ev.Host)
+		key := [2]int{r.pid, tid}
+		if tid != 0 && !named[key] {
+			named[key] = true
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: r.pid, Tid: tid,
+				Args: map[string]any{"name": r.ev.Host},
+			})
+		}
+	}
+
+	for _, r := range recs {
+		ev := r.ev
+		ce := chromeEvent{
+			Name: ev.Name,
+			Ts:   float64(ev.At),
+			Pid:  r.pid,
+			Tid:  c.tid(ev.Host),
+			Cat:  ev.Cat.String(),
+			Args: eventArgs(ev),
+		}
+		switch ev.Phase {
+		case Complete:
+			ce.Ph = "X"
+			d := ev.Dur.Micros()
+			ce.Dur = &d
+		case Begin, End:
+			// Async begin/end, matched by (cat, id, name): input and
+			// output operations overlap freely (channels, back-to-back
+			// throughput runs), which the strictly nested duration
+			// events "B"/"E" cannot represent.
+			if ev.Phase == Begin {
+				ce.Ph = "b"
+			} else {
+				ce.Ph = "e"
+			}
+			ce.ID = ev.Span
+		default:
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped instant
+		}
+		out = append(out, ce)
+	}
+
+	buf, err := json.MarshalIndent(chromeDoc{TraceEvents: out, DisplayTimeUnit: "ms"}, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	buf = append(buf, '\n')
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// eventArgs collects an event's attributes for the viewer's detail pane.
+func eventArgs(ev Event) map[string]any {
+	args := make(map[string]any, 4)
+	if ev.Sem != "" {
+		args["sem"] = ev.Sem
+	}
+	if ev.Stage != "" {
+		args["stage"] = ev.Stage
+	}
+	if ev.Bytes != 0 {
+		args["bytes"] = ev.Bytes
+	}
+	if ev.Port != 0 {
+		args["port"] = ev.Port
+	}
+	if ev.Span != 0 {
+		args["span"] = ev.Span
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}

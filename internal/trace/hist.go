@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// HistBuckets is the number of log2 latency buckets per histogram.
+// Bucket i covers [2^(i-1), 2^i) microseconds, with bucket 0 holding
+// everything below one microsecond; the last bucket is unbounded.
+const HistBuckets = 24
+
+// HistKey identifies one histogram: a buffering semantics paired with
+// an operation (event) name.
+type HistKey struct {
+	Sem string
+	Op  string
+}
+
+// Histogram aggregates the latency distribution of one (semantics, op)
+// pair.
+type Histogram struct {
+	Count   uint64
+	SumUS   float64
+	MinUS   float64
+	MaxUS   float64
+	Buckets [HistBuckets]uint64
+}
+
+// MeanUS returns the mean recorded latency in microseconds.
+func (h *Histogram) MeanUS() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumUS / float64(h.Count)
+}
+
+// bucketFor maps a latency to its log2 bucket.
+func bucketFor(us float64) int {
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Floor(math.Log2(us))) + 1
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// Histograms is a sink aggregating per-semantics/per-operation latency
+// histograms from Complete op-category events — the aggregate view of
+// the aB+b decomposition the paper fits in Tables 6 and 7.
+type Histograms struct {
+	m map[HistKey]*Histogram
+}
+
+// NewHistograms creates an empty aggregator.
+func NewHistograms() *Histograms {
+	return &Histograms{m: make(map[HistKey]*Histogram)}
+}
+
+// Emit implements Sink: Complete operation events are aggregated under
+// their (semantics, name) pair; everything else is ignored.
+func (h *Histograms) Emit(ev Event) {
+	if ev.Phase != Complete || ev.Cat != CatOp {
+		return
+	}
+	key := HistKey{Sem: ev.Sem, Op: ev.Name}
+	hist := h.m[key]
+	if hist == nil {
+		hist = &Histogram{MinUS: math.Inf(1)}
+		h.m[key] = hist
+	}
+	us := ev.Dur.Micros()
+	hist.Count++
+	hist.SumUS += us
+	hist.MinUS = math.Min(hist.MinUS, us)
+	hist.MaxUS = math.Max(hist.MaxUS, us)
+	hist.Buckets[bucketFor(us)]++
+}
+
+// Get returns the histogram for one (semantics, op) pair, or nil.
+func (h *Histograms) Get(sem, op string) *Histogram { return h.m[HistKey{sem, op}] }
+
+// Keys returns the recorded keys sorted by semantics then op name.
+func (h *Histograms) Keys() []HistKey {
+	keys := make([]HistKey, 0, len(h.m))
+	for k := range h.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Sem != keys[j].Sem {
+			return keys[i].Sem < keys[j].Sem
+		}
+		return keys[i].Op < keys[j].Op
+	})
+	return keys
+}
+
+// Reset discards all histograms.
+func (h *Histograms) Reset() { clear(h.m) }
+
+// Render writes a summary table, one line per (semantics, op) pair.
+func (h *Histograms) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-18s %-34s %8s %12s %12s %12s\n",
+		"semantics", "operation", "count", "mean us", "min us", "max us")
+	for _, k := range h.Keys() {
+		hist := h.m[k]
+		fmt.Fprintf(w, "%-18s %-34s %8d %12.2f %12.2f %12.2f\n",
+			k.Sem, k.Op, hist.Count, hist.MeanUS(), hist.MinUS, hist.MaxUS)
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+// Ring is a fixed-capacity event collector: when full, the oldest
+// events are overwritten. Emission into a Ring never allocates, which
+// keeps traced simulation runs cheap enough to leave on.
+type Ring struct {
+	buf   []Event
+	next  int // index of the slot the next event lands in
+	n     int // events currently held (≤ cap)
+	total uint64
+}
+
+// NewRing creates a collector holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev Event) {
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int { return r.n }
+
+// Total returns the number of events ever emitted, including any that
+// have been overwritten.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Dropped returns the number of events lost to overwriting.
+func (r *Ring) Dropped() uint64 { return r.total - uint64(r.n) }
+
+// Events returns the held events in emission order, oldest first. The
+// returned slice is freshly allocated and safe to retain.
+func (r *Ring) Events() []Event {
+	out := make([]Event, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Reset discards all held events and zeroes the counters.
+func (r *Ring) Reset() {
+	r.next, r.n, r.total = 0, 0, 0
+}

@@ -49,6 +49,7 @@ func (as *AddressSpace) Fault(va Addr, write bool) error {
 		r.object.insertPage(pi, nf)
 		as.pt[pageVA] = PTE{Frame: nf, Prot: ProtRW}
 		sys.stats.ZeroFills++
+		sys.emit("vm.fault.zero-fill", sys.pageSize)
 		return nil
 	}
 
@@ -68,11 +69,13 @@ func (as *AddressSpace) Fault(va Addr, write bool) error {
 				// its deallocation is I/O-deferred.
 				sys.pm.Release(old)
 				sys.stats.TCOWCopies++
+				sys.emit("vm.fault.tcow-copy", sys.pageSize)
 				return nil
 			}
 			pte.Prot |= ProtWrite
 			as.pt[pageVA] = pte
 			sys.stats.TCOWReenables++
+			sys.emit("vm.fault.tcow-reenable", sys.pageSize)
 			return nil
 		}
 		// Plain mapping fault (first touch of a resident page, or a
@@ -93,6 +96,7 @@ func (as *AddressSpace) Fault(va Addr, write bool) error {
 			as.pt[pageVA] = PTE{Frame: nf, Prot: ProtRW}
 			sys.pm.Release(old)
 			sys.stats.TCOWCopies++
+			sys.emit("vm.fault.tcow-copy", sys.pageSize)
 			return nil
 		}
 		as.pt[pageVA] = PTE{Frame: f, Prot: prot}
@@ -109,6 +113,7 @@ func (as *AddressSpace) Fault(va Addr, write bool) error {
 		r.object.insertPage(pi, nf)
 		as.pt[pageVA] = PTE{Frame: nf, Prot: ProtRW}
 		sys.stats.COWCopies++
+		sys.emit("vm.fault.cow-copy", sys.pageSize)
 		return nil
 	}
 	as.pt[pageVA] = PTE{Frame: f, Prot: ProtRead}
@@ -126,6 +131,7 @@ func (as *AddressSpace) pageIn(r *Region, pageVA Addr, pi int, holder *MemObject
 	delete(holder.backing, pi)
 	holder.insertPage(pi, nf)
 	sys.stats.PageIns++
+	sys.emit("vm.fault.page-in", sys.pageSize)
 	if holder != r.object {
 		// Paged out below the top object: retry as an ordinary fault so
 		// the COW rules apply.

@@ -105,4 +105,5 @@ func (d *PageoutDaemon) evict(obj *MemObject, pi int) {
 	d.sys.invalidateFrame(f)
 	d.sys.pm.Release(f)
 	d.sys.stats.PageOuts++
+	d.sys.emit("vm.pageout", d.sys.pageSize)
 }

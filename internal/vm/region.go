@@ -62,6 +62,7 @@ func (r *Region) setState(from, to RegionState) error {
 		return fmt.Errorf("%w: %v: want %v -> %v", ErrBadRegion, r, from, to)
 	}
 	r.state = to
+	r.as.sys.emit(regionTraceNames[to], r.length)
 	return nil
 }
 
@@ -119,6 +120,7 @@ func (r *Region) MarkMovingIn() error {
 	switch r.state {
 	case MovedOut, WeaklyMovedOut:
 		r.state = MovingIn
+		r.as.sys.emit(regionTraceNames[MovingIn], r.length)
 		return nil
 	}
 	return fmt.Errorf("%w: %v: MarkMovingIn", ErrBadRegion, r)
@@ -141,6 +143,7 @@ func (r *Region) MarkMovedIn() error {
 	switch r.state {
 	case MovingIn, MovedIn:
 		r.state = MovedIn
+		r.as.sys.emit(regionTraceNames[MovedIn], r.length)
 		return nil
 	}
 	return fmt.Errorf("%w: %v: MarkMovedIn", ErrBadRegion, r)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // SysStats counts VM events since the System was created. The counters
@@ -32,6 +33,7 @@ type System struct {
 	nextObjID int
 	nextASID  int
 	stats     SysStats
+	tr        *trace.Tracer
 }
 
 // NewSystem creates a VM system over the given physical memory.
@@ -51,6 +53,18 @@ func (sys *System) Phys() *mem.PhysMem { return sys.pm }
 
 // Stats returns a snapshot of the VM event counters.
 func (sys *System) Stats() SysStats { return sys.stats }
+
+// SetTracer installs a structured-event tracer on the VM system (nil
+// disables). Fault resolution, pageout, and region state transitions
+// are emitted as CatVM instants.
+func (sys *System) SetTracer(tr *trace.Tracer) { sys.tr = tr }
+
+// emit records a VM instant event when tracing is enabled.
+func (sys *System) emit(name string, bytes int) {
+	if sys.tr != nil {
+		sys.tr.Instant(trace.CatVM, name, bytes)
+	}
+}
 
 // Spaces returns the live address spaces.
 func (sys *System) Spaces() []*AddressSpace { return sys.spaces }
@@ -100,6 +114,7 @@ func (sys *System) Reset() {
 	sys.nextObjID = 0
 	sys.nextASID = 0
 	sys.stats = SysStats{}
+	sys.tr = nil
 }
 
 // NewKernelObject creates a memory object owned by the kernel (no

@@ -82,6 +82,13 @@ var regionStateNames = [...]string{
 	"unmovable", "moved-in", "moving-out", "moved-out", "weakly-moved-out", "moving-in",
 }
 
+// regionTraceNames precomputes the trace event name of each region state
+// transition so emitting one never concatenates strings.
+var regionTraceNames = [...]string{
+	"vm.region.unmovable", "vm.region.moved-in", "vm.region.moving-out",
+	"vm.region.moved-out", "vm.region.weakly-moved-out", "vm.region.moving-in",
+}
+
 func (s RegionState) String() string {
 	if int(s) < len(regionStateNames) {
 		return regionStateNames[s]
