@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/experiments"
+	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -380,6 +381,76 @@ func BenchmarkTracingOverhead(b *testing.B) {
 type discardSink struct{}
 
 func (discardSink) Emit(trace.Event) {}
+
+// BenchmarkSweepSymbolicVsBytes compares one full Figure 3 page sweep
+// (every page-multiple length up to the 60 KB AAL5 maximum) on the two
+// data planes, caching off so every point really simulates. The bytes
+// arm materializes and copies every payload page through the copyin,
+// DMA, and copyout stages; the symbolic arm moves O(#extents)
+// provenance descriptors through the same control flow. The figures are
+// byte-identical between the arms — the gap is pure simulator overhead
+// removed.
+func BenchmarkSweepSymbolicVsBytes(b *testing.B) {
+	lengths := experiments.PageSweep(4096)
+	for _, arm := range []struct {
+		name  string
+		plane mem.DataPlane
+	}{{"bytes", mem.Bytes}, {"symbolic", mem.Symbolic}} {
+		b.Run(arm.name, func(b *testing.B) {
+			experiments.SetCaching(false)
+			defer func() {
+				experiments.SetCaching(true)
+				experiments.ResetPerf()
+			}()
+			experiments.ResetPerf()
+			s := experiments.Setup{Scheme: netsim.EarlyDemux, Plane: arm.plane}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Sweep(s, core.Copy, lengths); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestSymbolicPlaneFasterAtMaxDatagram is the CI performance smoke: the
+// symbolic plane must beat the bytes plane on the max-datagram sweep
+// point with caching disabled. The margin is deliberately loose (1.2x
+// against a locally measured ~2x+) so the gate trips on a real
+// regression — symbolic accidentally materializing — and not on a noisy
+// runner.
+func TestSymbolicPlaneFasterAtMaxDatagram(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed comparison in -short mode")
+	}
+	experiments.SetCaching(false)
+	defer func() {
+		experiments.SetCaching(true)
+		experiments.ResetPerf()
+	}()
+	timePlane := func(plane mem.DataPlane) float64 {
+		experiments.ResetPerf()
+		s := experiments.Setup{Scheme: netsim.EarlyDemux, Plane: plane}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Measure(s, core.Copy, cost.MaxAAL5Datagram); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	bytesNs := timePlane(mem.Bytes)
+	symNs := timePlane(mem.Symbolic)
+	t.Logf("max-datagram point: bytes %.0f ns/op, symbolic %.0f ns/op (%.2fx)",
+		bytesNs, symNs, bytesNs/symNs)
+	if symNs*1.2 >= bytesNs {
+		t.Errorf("symbolic plane is not faster than bytes at the max datagram: %.0f ns/op vs %.0f ns/op",
+			symNs, bytesNs)
+	}
+}
 
 // BenchmarkEngineScheduleLoop exercises the simulator's schedule/fire
 // hot path through the public API; the event pool keeps it at zero

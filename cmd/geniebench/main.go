@@ -12,6 +12,7 @@
 //	geniebench -trace out.json # traced exemplar per figure (chrome://tracing)
 //	geniebench -nocache     # disable the measurement memo
 //	geniebench -norecycle   # disable testbed recycling
+//	geniebench -dataplane bytes  # materialize payload bytes (default: symbolic)
 //	geniebench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Measurement points fan out across -parallel worker goroutines
@@ -23,6 +24,12 @@
 // changes. The end-of-run summary (stderr) and the -json report record
 // cache hits/misses, single-flight waits, and testbeds recycled vs
 // built.
+//
+// The -dataplane flag selects how the simulator represents payload
+// contents: "symbolic" (the default) carries provenance descriptors and
+// turns every in-simulator copy into an O(#extents) splice; "bytes"
+// materializes every page. Figures and tables are byte-identical on
+// either plane — only the harness's own wall-clock differs.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/experiments"
+	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/trace"
 )
@@ -66,6 +74,7 @@ type report struct {
 	GOMAXPROCS  int                   `json:"gomaxprocs"`
 	Cache       bool                  `json:"cache"`
 	Recycle     bool                  `json:"recycle"`
+	DataPlane   string                `json:"data_plane"`
 	TotalWallMS float64               `json:"total_wall_ms"`
 	Perf        experiments.PerfStats `json:"perf"`
 	Results     []result              `json:"results"`
@@ -158,6 +167,8 @@ func main() {
 		"disable the cross-generator measurement memo (output is identical, only slower)")
 	norecycle := flag.Bool("norecycle", false,
 		"disable testbed recycling across measurement points")
+	dataplane := flag.String("dataplane", "symbolic",
+		"payload representation inside the simulator: symbolic or bytes (output is identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	tracePath := flag.String("trace", "",
@@ -168,6 +179,11 @@ func main() {
 	experiments.SetParallelism(*parallel)
 	experiments.SetCaching(!*nocache)
 	experiments.SetRecycling(!*norecycle)
+	plane, err := mem.PlaneByName(*dataplane)
+	if err != nil {
+		fail(err)
+	}
+	experiments.SetDataPlane(plane)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -227,6 +243,7 @@ func main() {
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			Cache:       !*nocache,
 			Recycle:     !*norecycle,
+			DataPlane:   plane.Name(),
 			TotalWallMS: float64(time.Since(start).Microseconds()) / 1000,
 			Perf:        perf,
 			Results:     results,

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/checksum"
 	"repro/internal/cost"
+	"repro/internal/mem"
 	"repro/internal/netsim"
 )
 
@@ -87,9 +88,13 @@ func (g *Genie) checksumApplies(sem Semantics) (bool, error) {
 func checksumVerify(data []byte, sum uint16) bool { return checksum.Verify(data, sum) }
 
 // appendTrailer attaches the payload checksum as a big-endian trailer.
-func appendTrailer(payload []byte) []byte {
-	sum := checksum.Sum(payload)
-	return append(payload, byte(sum>>8), byte(sum))
+// Checksumming is an inherently content-touching operation, so the
+// payload is materialized here even on the symbolic plane (the model
+// charges a per-byte checksum pass for it anyway); the trailer itself
+// is appended as a 2-byte literal without disturbing the payload runs.
+func appendTrailer(payload mem.Buf) mem.Buf {
+	sum := checksum.Sum(payload.Resolve())
+	return payload.Append(mem.BufBytes([]byte{byte(sum >> 8), byte(sum)}))
 }
 
 // splitTrailer separates payload and checksum.

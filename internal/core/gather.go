@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/vm"
 )
@@ -63,14 +64,15 @@ func (p *Process) OutputV(port int, sem Semantics, segs []Segment) (*OutputOp, e
 	g.stats.Outputs++
 
 	if op.Effective == Copy {
-		// Coalesce by copyin, segment by segment.
-		data := make([]byte, 0, total)
+		// Coalesce by copyin, segment by segment. Gather lists are short,
+		// so concatenating per-segment snapshots is cheap on both planes.
+		var data mem.Buf
 		for _, s := range segs {
-			buf := make([]byte, s.Len)
-			if err := p.as.Peek(s.VA, buf); err != nil {
+			buf, err := p.as.PeekBuf(s.VA, s.Len)
+			if err != nil {
 				return nil, err
 			}
-			data = append(data, buf...)
+			data = data.Append(buf)
 		}
 		prep := []charge{{cost.BufAllocate, total}, {cost.Copyin, total}}
 		if g.cfg.Checksum != ChecksumNone {
@@ -82,7 +84,7 @@ func (p *Process) OutputV(port int, sem Semantics, segs []Segment) (*OutputOp, e
 			data = appendTrailer(data)
 		}
 		g.launchOutput(op, prep,
-			func() ([]byte, error) { return data, nil },
+			func() (mem.Buf, error) { return data, nil },
 			func() []charge { return []charge{{cost.BufDeallocate, total}} })
 		return op, nil
 	}
@@ -118,12 +120,10 @@ func (p *Process) OutputV(port int, sem Semantics, segs []Segment) (*OutputOp, e
 		}
 	}
 
-	payload := func() ([]byte, error) {
-		data := make([]byte, 0, total)
+	payload := func() (mem.Buf, error) {
+		var data mem.Buf
 		for i, ref := range refs {
-			buf := make([]byte, segs[i].Len)
-			ref.DMARead(0, buf)
-			data = append(data, buf...)
+			data = data.Append(ref.DMAReadBuf(0, segs[i].Len))
 		}
 		return data, nil
 	}

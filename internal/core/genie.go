@@ -267,6 +267,15 @@ func (p *Process) Write(va vm.Addr, data []byte) error { return p.as.Poke(va, da
 // Read loads len(buf) bytes from va.
 func (p *Process) Read(va vm.Addr, buf []byte) error { return p.as.Peek(va, buf) }
 
+// WriteBuf stores a data-plane buffer at va: a byte copy on the bytes
+// plane, a descriptor splice on the symbolic plane.
+func (p *Process) WriteBuf(va vm.Addr, b mem.Buf) error { return p.as.PokeBuf(va, b) }
+
+// ReadBuf loads length bytes from va as a data-plane buffer.
+func (p *Process) ReadBuf(va vm.Addr, length int) (mem.Buf, error) {
+	return p.as.PeekBuf(va, length)
+}
+
 // kernelBuffer is a system or aligned input buffer built from kernel
 // pool pages: payload occupies [off, off+length) across the frames.
 type kernelBuffer struct {
@@ -293,30 +302,18 @@ func (g *Genie) allocKernelBuffer(off, length int) (*kernelBuffer, error) {
 func (b *kernelBuffer) Len() int { return b.length }
 
 // DMAWrite scatters data into the buffer at payload offset off.
-func (b *kernelBuffer) DMAWrite(off int, data []byte) {
-	pos := b.off + off
-	ps := len(b.frames[0].Data())
-	for len(data) > 0 {
-		fi := pos / ps
-		fo := pos % ps
-		n := copy(b.frames[fi].Data()[fo:], data)
-		data = data[n:]
-		pos += n
-	}
+func (b *kernelBuffer) DMAWrite(off int, data mem.Buf) {
+	mem.ScatterFrames(b.frames, b.off+off, data)
+}
+
+// readBuf gathers the first n payload bytes as a data-plane buffer.
+func (b *kernelBuffer) readBuf(n int) mem.Buf {
+	return mem.GatherFrames(b.frames, b.off, n)
 }
 
 // readAll copies the first n payload bytes into buf.
 func (b *kernelBuffer) readAll(buf []byte) {
-	pos := b.off
-	ps := len(b.frames[0].Data())
-	off := 0
-	for off < len(buf) {
-		fi := pos / ps
-		fo := pos % ps
-		n := copy(buf[off:], b.frames[fi].Data()[fo:])
-		off += n
-		pos += n
-	}
+	b.readBuf(len(buf)).ReadAt(buf, 0)
 }
 
 // free returns all remaining frames to the pool.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -74,20 +75,22 @@ func (p *Process) Output(port int, sem Semantics, va vm.Addr, length int) (*Outp
 
 	var (
 		prep    []charge
-		payload func() ([]byte, error) // runs at transmit time
-		dispose func() []charge        // runs at dispose time, returns its charges
+		payload func() (mem.Buf, error) // runs at transmit time
+		dispose func() []charge         // runs at dispose time, returns its charges
 	)
 
 	switch op.Effective {
 	case Copy:
-		// Prepare: allocate system buffer, copy in. The snapshot happens
-		// now, which is what gives copy semantics its integrity.
-		data := make([]byte, length)
-		if err := p.as.Peek(va, data); err != nil {
+		// Prepare: snapshot into a system buffer. The snapshot happens
+		// now, which is what gives copy semantics its integrity; on the
+		// symbolic plane the snapshot is a descriptor capture, not a byte
+		// copy (the charges are identical either way).
+		data, err := p.as.PeekBuf(va, length)
+		if err != nil {
 			return nil, err
 		}
 		prep = []charge{{cost.BufAllocate, length}, {cost.Copyin, length}}
-		payload = func() ([]byte, error) { return data, nil }
+		payload = func() (mem.Buf, error) { return data, nil }
 		if withChecksum {
 			if g.cfg.Checksum == ChecksumIntegrated {
 				// Checksum folded into the copyin: one combined pass.
@@ -95,7 +98,7 @@ func (p *Process) Output(port int, sem Semantics, va vm.Addr, length int) (*Outp
 			} else {
 				prep = append(prep, charge{cost.ChecksumRead, length})
 			}
-			payload = func() ([]byte, error) { return appendTrailer(data), nil }
+			payload = func() (mem.Buf, error) { return appendTrailer(data), nil }
 		}
 		dispose = func() []charge { return []charge{{cost.BufDeallocate, length}} }
 
@@ -113,10 +116,10 @@ func (p *Process) Output(port int, sem Semantics, va vm.Addr, length int) (*Outp
 			// application pages.
 			prep = append(prep, charge{cost.ChecksumRead, length})
 			inner := payload
-			payload = func() ([]byte, error) {
+			payload = func() (mem.Buf, error) {
 				data, err := inner()
 				if err != nil {
-					return nil, err
+					return mem.Buf{}, err
 				}
 				return appendTrailer(data), nil
 			}
@@ -241,17 +244,15 @@ func (p *Process) outputSystemAllocated(op *OutputOp, port int, va vm.Addr, leng
 // output: the device DMAs from the referenced pages when the frame is
 // serialized, so weak-integrity semantics observe application overwrites
 // up to that moment.
-func refPayload(ref *vm.IORef, length int) func() ([]byte, error) {
-	return func() ([]byte, error) {
-		data := make([]byte, length)
-		ref.DMARead(0, data)
-		return data, nil
+func refPayload(ref *vm.IORef, length int) func() (mem.Buf, error) {
+	return func() (mem.Buf, error) {
+		return ref.DMAReadBuf(0, length), nil
 	}
 }
 
 // launchOutput charges prepare, schedules transmission after the prepare
 // latency, and hooks dispose to the adapter's completion callback.
-func (g *Genie) launchOutput(op *OutputOp, prep []charge, payload func() ([]byte, error), dispose func() []charge) {
+func (g *Genie) launchOutput(op *OutputOp, prep []charge, payload func() (mem.Buf, error), dispose func() []charge) {
 	if g.tr != nil {
 		op.span = g.tr.NewSpan()
 		g.tr.Emit(trace.Event{At: op.StartedAt, Phase: trace.Begin, Cat: trace.CatOp, Name: "output",
@@ -271,7 +272,7 @@ func (g *Genie) launchOutput(op *OutputOp, prep []charge, payload func() ([]byte
 			op.Done = true
 			return
 		}
-		err = g.nic.TransmitDatagram(op.Port, data, func() {
+		err = g.nic.TransmitDatagramBuf(op.Port, data, func() {
 			ch := dispose()
 			dispDur := g.chargeSet(StageDispose, op.octx(), ch, &op.SenderCPU)
 			op.SentAt = g.eng.Now()

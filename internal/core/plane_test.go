@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/vm"
+)
+
+// planeTransfer runs one application-allocated transfer on a fresh
+// testbed and returns the delivered bytes and the end-to-end latency in
+// simulated microseconds.
+func planeTransfer(t *testing.T, cfg TestbedConfig, sem Semantics, appOff, length int) ([]byte, float64) {
+	t.Helper()
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := tb.A.Genie.NewProcess()
+	receiver := tb.B.Genie.NewProcess()
+	ps := tb.Model.Platform.PageSize
+
+	payload := make([]byte, length)
+	for i := range payload {
+		payload[i] = byte(i*31 + 5)
+	}
+	srcVA, err := sender.Brk(length + 2*ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbase, err := receiver.Brk(length + 2*ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstVA := dbase + vm.Addr(appOff%ps)
+	if err := sender.Write(srcVA, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	out, in, err := tb.Transfer(sender, receiver, 1, sem, srcVA, dstVA, length)
+	if err != nil {
+		t.Fatalf("%v transfer: %v", sem, err)
+	}
+	if in.N != length {
+		t.Fatalf("%v: received %d bytes, want %d", sem, in.N, length)
+	}
+	got := make([]byte, in.N)
+	if err := receiver.Read(in.Addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("%v: payload corrupted in transit", sem)
+	}
+	return got, in.CompletedAt.Sub(out.StartedAt).Micros()
+}
+
+// TestFragReassemblyIdenticalAcrossPlanes drives fragmented datagrams
+// through non-page-aligned device placement and a misaligned
+// application buffer — the layout that exercises every splice boundary:
+// fragments land at arbitrary datagram offsets, overlay pages carry a
+// leading device offset, and the copyout path gathers across page
+// boundaries. Pooled and outboard buffering both must deliver identical
+// contents with identical latency on the bytes and symbolic planes.
+func TestFragReassemblyIdenticalAcrossPlanes(t *testing.T) {
+	const (
+		mtu    = 9180  // multiple fragments per datagram
+		appOff = 1000  // misaligned application buffer: forces copyout
+		length = 20000 // 3 fragments, not a page multiple
+	)
+	schemes := []struct {
+		name   string
+		buf    netsim.InputBuffering
+		devOff int
+	}{
+		{"pooled", netsim.Pooled, 312}, // non-page-aligned device placement
+		{"outboard", netsim.OutboardBuffering, 0},
+	}
+	for _, scheme := range schemes {
+		for _, sem := range []Semantics{Copy, EmulatedCopy} {
+			t.Run(scheme.name+"/"+sem.String(), func(t *testing.T) {
+				cfg := TestbedConfig{
+					Buffering:  scheme.buf,
+					OverlayOff: scheme.devOff,
+					MTU:        mtu,
+				}
+				cfgBytes, cfgSym := cfg, cfg
+				cfgBytes.Plane = mem.Bytes
+				cfgSym.Plane = mem.Symbolic
+				gotBytes, latBytes := planeTransfer(t, cfgBytes, sem, appOff, length)
+				gotSym, latSym := planeTransfer(t, cfgSym, sem, appOff, length)
+				if !bytes.Equal(gotBytes, gotSym) {
+					i := 0
+					for i < len(gotBytes) && gotBytes[i] == gotSym[i] {
+						i++
+					}
+					t.Errorf("delivered contents differ across planes at byte %d: bytes %#02x, symbolic %#02x",
+						i, gotBytes[i], gotSym[i])
+				}
+				if latBytes != latSym {
+					t.Errorf("latency differs across planes: bytes %.3f us, symbolic %.3f us", latBytes, latSym)
+				}
+			})
+		}
+	}
+}

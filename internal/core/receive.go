@@ -108,9 +108,7 @@ func (g *Genie) disposeEarlyDemux(in *InputOp) (sim.Duration, error) {
 			g.chargeSet(StageDispose, in.octx(), []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
 			return lat, verr
 		}
-		data := make([]byte, n)
-		in.kbuf.readAll(data)
-		if err := p.as.Poke(in.va, data); err != nil {
+		if err := p.as.PokeBuf(in.va, in.kbuf.readBuf(n)); err != nil {
 			return 0, err
 		}
 		in.Addr = in.va
@@ -229,8 +227,8 @@ func (g *Genie) disposePooled(in *InputOp, pkt netsim.Packet) (sim.Duration, err
 
 	switch in.Sem {
 	case Copy:
-		data := readFrames(pkt.Overlay, pkt.OverlayOff, n)
-		if err := p.as.Poke(in.va, data); err != nil {
+		data := mem.GatherFrames(pkt.Overlay, pkt.OverlayOff, n)
+		if err := p.as.PokeBuf(in.va, data); err != nil {
 			return 0, err
 		}
 		pool.Put(pkt.Overlay...)
@@ -336,9 +334,7 @@ func (g *Genie) disposeOutboard(in *InputOp, pkt netsim.Packet) (sim.Duration, e
 			return 0, err
 		}
 		ob.DMAToHost(kbuf)
-		data := make([]byte, n)
-		kbuf.readAll(data)
-		if err := p.as.Poke(in.va, data); err != nil {
+		if err := p.as.PokeBuf(in.va, kbuf.readBuf(n)); err != nil {
 			return 0, err
 		}
 		kbuf.free()
@@ -433,8 +429,8 @@ func (g *Genie) emcopyDispose(in *InputOp, frames []*mem.Frame, frameOff int, po
 		// everything is copied out.
 		g.stats.UnalignedInputs++
 		g.stats.FullCopyouts++
-		data := readFrames(frames, frameOff, n)
-		if err := p.as.Poke(va, data); err != nil {
+		data := mem.GatherFrames(frames, frameOff, n)
+		if err := p.as.PokeBuf(va, data); err != nil {
 			return nil, err
 		}
 		pool.Put(frames...)
@@ -469,18 +465,18 @@ func (g *Genie) emcopyDispose(in *InputOp, frames []*mem.Frame, frameOff int, po
 			head := int(dataStart - pageVA)
 			tail := int(pageVA + vm.Addr(ps) - dataEnd)
 			if head > 0 {
-				buf := make([]byte, head)
-				if err := p.as.Peek(pageVA, buf); err != nil {
+				buf, err := p.as.PeekBuf(pageVA, head)
+				if err != nil {
 					return nil, err
 				}
-				copy(f.Data()[:head], buf)
+				f.WriteBuf(0, buf)
 			}
 			if tail > 0 {
-				buf := make([]byte, tail)
-				if err := p.as.Peek(dataEnd, buf); err != nil {
+				buf, err := p.as.PeekBuf(dataEnd, tail)
+				if err != nil {
 					return nil, err
 				}
-				copy(f.Data()[ps-tail:], buf)
+				f.WriteBuf(ps-tail, buf)
 			}
 			old, err := p.as.KernelSwapPage(pageVA, f)
 			if err != nil {
@@ -498,7 +494,7 @@ func (g *Genie) emcopyDispose(in *InputOp, frames []*mem.Frame, frameOff int, po
 		default:
 			// Short fill: plain copyout (item 1 of Figure 2).
 			fo := int(dataStart - pageVA)
-			if err := p.as.Poke(dataStart, f.Data()[fo:fo+d]); err != nil {
+			if err := p.as.PokeBuf(dataStart, f.ReadBuf(fo, d)); err != nil {
 				return nil, err
 			}
 			copied += d
@@ -546,7 +542,7 @@ func (g *Genie) buildRegionFromKernelBuffer(in *InputOp, kbuf *kernelBuffer, n i
 
 	zeroed := 0
 	if tail := n % ps; tail != 0 {
-		clear(frames[k-1].Data()[tail:])
+		frames[k-1].ClearRange(tail, ps-tail)
 		zeroed = ps - tail
 	}
 	obj := g.sys.NewKernelObject()
@@ -580,11 +576,11 @@ func (g *Genie) buildRegionFromOverlay(in *InputOp, pkt netsim.Packet, pool *net
 
 	zeroed := 0
 	if off > 0 {
-		clear(frames[0].Data()[:off])
+		frames[0].ClearRange(0, off)
 		zeroed += off
 	}
 	if end := (off + n) % ps; end != 0 {
-		clear(frames[len(frames)-1].Data()[end:])
+		frames[len(frames)-1].ClearRange(end, ps-end)
 		zeroed += ps - end
 	}
 	obj := g.sys.NewKernelObject()
@@ -607,18 +603,10 @@ func (g *Genie) buildRegionFromOverlay(in *InputOp, pkt netsim.Packet, pool *net
 	}, nil
 }
 
-// readFrames gathers n bytes starting at off within the first frame.
+// readFrames materializes n bytes starting at off within the first
+// frame (content-level paths: checksum verification).
 func readFrames(frames []*mem.Frame, off, n int) []byte {
-	out := make([]byte, n)
-	pos := 0
-	for _, f := range frames {
-		if pos >= n {
-			break
-		}
-		pos += copy(out[pos:], f.Data()[off:])
-		off = 0
-	}
-	return out
+	return mem.GatherFrames(frames, off, n).Resolve()
 }
 
 func max64(a, b vm.Addr) vm.Addr {

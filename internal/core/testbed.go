@@ -47,6 +47,12 @@ type TestbedConfig struct {
 	// memory pressure evicts pages (never input-referenced or wired
 	// ones) instead of failing allocations.
 	DemandPaging bool
+	// Plane selects the data-plane representation for both hosts'
+	// physical memory: mem.Bytes materializes every page, mem.Symbolic
+	// carries provenance descriptors and splices instead of copying.
+	// nil defaults to mem.Bytes. Figures are identical on either plane;
+	// only simulator wall-clock differs.
+	Plane mem.DataPlane
 	// Genie holds framework tunables; zero value takes the defaults.
 	Genie Config
 }
@@ -78,11 +84,14 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	if cfg.Genie == (Config{}) {
 		cfg.Genie = DefaultConfig()
 	}
+	if cfg.Plane == nil {
+		cfg.Plane = mem.Bytes
+	}
 	eng := sim.New()
 	tb := &Testbed{Eng: eng, Model: cfg.Model, cfg: cfg}
 
 	build := func(name string) (*Host, error) {
-		pm := mem.New(cfg.FramesPerHost, cfg.Model.Platform.PageSize)
+		pm := mem.NewWithPlane(cfg.FramesPerHost, cfg.Model.Platform.PageSize, cfg.Plane)
 		sys := vm.NewSystem(pm)
 		if cfg.DemandPaging {
 			sys.EnableDemandPaging(0)

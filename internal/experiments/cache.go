@@ -26,6 +26,7 @@ type cacheKey struct {
 	appOffset  int
 	genie      core.Config
 	instrument bool
+	plane      string // data-plane name; planes cannot change results, but share no testbeds
 	sem        core.Semantics
 	length     int
 }
@@ -43,6 +44,7 @@ func measureKey(s Setup, sem core.Semantics, length int) cacheKey {
 		appOffset:  s.AppOffset,
 		genie:      genie,
 		instrument: s.Instrument,
+		plane:      s.plane().Name(),
 		sem:        sem,
 		length:     length,
 	}

@@ -7,11 +7,13 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -41,6 +43,10 @@ type Setup struct {
 	// numbers are identical to an untraced run: tracing reads the
 	// simulation, it never perturbs it.
 	Tracer *trace.Tracer
+	// Plane pins the data-plane representation for this setup's
+	// testbeds; nil takes the package default (symbolic — see
+	// SetDataPlane). Measurements are byte-identical on either plane.
+	Plane mem.DataPlane
 }
 
 // model resolves the setup's cost model. Models are immutable after
@@ -152,11 +158,23 @@ func measureOn(tb *core.Testbed, s Setup, sem core.Semantics, length int) (Measu
 	sender := tb.A.Genie.NewProcess()
 	receiver := tb.B.Genie.NewProcess()
 	ps := tb.Model.Platform.PageSize
+	symbolic := tb.A.Phys.Symbolic()
 
-	payload := getBuf(length)
-	defer putBuf(payload)
-	for i := range payload {
-		payload[i] = byte(i)
+	// The payload resolves to byte(i) at offset i on either plane. On
+	// the bytes plane it is a pooled materialized buffer; on the
+	// symbolic plane it is a pattern descriptor from a fresh source, so
+	// the whole transfer moves provenance instead of bytes and delivery
+	// verification can match descriptors.
+	var payload []byte
+	var payloadBuf mem.Buf
+	if symbolic {
+		payloadBuf = mem.PatternBuf(mem.NewPatternSource(), 0, length)
+	} else {
+		payload = getBuf(length)
+		defer putBuf(payload)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
 	}
 
 	var srcVA, dstVA vm.Addr
@@ -178,8 +196,14 @@ func measureOn(tb *core.Testbed, s Setup, sem core.Semantics, length int) (Measu
 		}
 		dstVA = dbase + vm.Addr(s.AppOffset%ps)
 	}
-	if err := sender.Write(srcVA, payload); err != nil {
-		return Measurement{}, err
+	if symbolic {
+		if err := sender.WriteBuf(srcVA, payloadBuf); err != nil {
+			return Measurement{}, err
+		}
+	} else {
+		if err := sender.Write(srcVA, payload); err != nil {
+			return Measurement{}, err
+		}
 	}
 
 	out, in, err := tb.Transfer(sender, receiver, 1, sem, srcVA, dstVA, length)
@@ -187,14 +211,26 @@ func measureOn(tb *core.Testbed, s Setup, sem core.Semantics, length int) (Measu
 		return Measurement{}, fmt.Errorf("experiments: %v %dB: %w", sem, length, err)
 	}
 	// Verify delivery: a latency number for a broken transfer is noise.
-	got := getBuf(in.N)
-	defer putBuf(got)
-	if err := receiver.Read(in.Addr, got); err != nil {
-		return Measurement{}, err
-	}
-	for i := range got {
-		if got[i] != payload[i] {
-			return Measurement{}, fmt.Errorf("experiments: %v %dB: corrupt byte %d", sem, length, i)
+	// On the symbolic plane the received descriptors are matched against
+	// the sent pattern (falling back to resolved contents); on the bytes
+	// plane a vectorized comparison replaces the old per-byte loop, with
+	// the first mismatching offset recovered only on failure.
+	if symbolic {
+		got, err := receiver.ReadBuf(in.Addr, in.N)
+		if err != nil {
+			return Measurement{}, err
+		}
+		if !got.Equal(payloadBuf.Slice(0, in.N)) {
+			return Measurement{}, corruptErr(sem, length, got.Resolve(), payloadBuf.Resolve())
+		}
+	} else {
+		got := getBuf(in.N)
+		defer putBuf(got)
+		if err := receiver.Read(in.Addr, got); err != nil {
+			return Measurement{}, err
+		}
+		if !bytes.Equal(got, payload[:in.N]) {
+			return Measurement{}, corruptErr(sem, length, got, payload)
 		}
 	}
 
@@ -210,6 +246,19 @@ func measureOn(tb *core.Testbed, s Setup, sem core.Semantics, length int) (Measu
 		m.Records = append(m.Records, tb.B.Genie.Instr().Records()...)
 	}
 	return m, nil
+}
+
+// corruptErr pinpoints the first mismatching byte of a failed delivery
+// verification. Only the error path pays for the scan.
+func corruptErr(sem core.Semantics, length int, got, want []byte) error {
+	n := min(len(got), len(want))
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			return fmt.Errorf("experiments: %v %dB: corrupt byte %d: got %#02x want %#02x",
+				sem, length, i, got[i], want[i])
+		}
+	}
+	return fmt.Errorf("experiments: %v %dB: delivered %d bytes, want %d", sem, length, len(got), len(want))
 }
 
 // PageSweep returns the paper's page-multiple datagram lengths, 4 KB to

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/trace"
 )
@@ -77,15 +78,16 @@ func renderFullSetWith(t *testing.T, base Setup) string {
 
 // TestFullSetByteIdenticalAcrossRegimes asserts the tentpole determinism
 // property: the full figure/table set is byte-identical with the
-// measurement cache and testbed recycling on or off, and at -parallel 1
-// versus 8. The cold serial regime is the ground truth (exactly what
-// the pre-cache harness computed); every accelerated regime must match
-// it byte for byte.
+// measurement cache and testbed recycling on or off, at -parallel 1
+// versus 8, and on the bytes versus the symbolic data plane. The cold
+// serial regime on the default (symbolic) plane is the ground truth;
+// every accelerated or re-represented regime must match it byte for
+// byte.
 func TestFullSetByteIdenticalAcrossRegimes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("three full evaluation runs in -short mode")
+		t.Skip("five full evaluation runs in -short mode")
 	}
-	var coldSerial, cachedSerial, cachedParallel, traced string
+	var coldSerial, cachedSerial, cachedParallel, traced, bytesPlane string
 	sink := &discardCount{}
 	withPerfRegime(t, false, false, 1, func() { coldSerial = renderFullSet(t) })
 	withPerfRegime(t, true, true, 1, func() { cachedSerial = renderFullSet(t) })
@@ -96,6 +98,12 @@ func TestFullSetByteIdenticalAcrossRegimes(t *testing.T) {
 	withPerfRegime(t, true, true, 1, func() {
 		traced = renderFullSetWith(t, Setup{Tracer: trace.New(sink)})
 	})
+	// The data plane is a representation choice, never a result: a full
+	// run on materialized bytes must render the same output as the
+	// symbolic default.
+	withPerfRegime(t, true, true, 8, func() {
+		bytesPlane = renderFullSetWith(t, Setup{Plane: mem.Bytes})
+	})
 	if cachedSerial != coldSerial {
 		t.Errorf("cached serial output differs from cold serial output")
 	}
@@ -104,6 +112,9 @@ func TestFullSetByteIdenticalAcrossRegimes(t *testing.T) {
 	}
 	if traced != coldSerial {
 		t.Errorf("traced output differs from cold serial output")
+	}
+	if bytesPlane != coldSerial {
+		t.Errorf("bytes-plane output differs from symbolic-plane output")
 	}
 	if sink.n == 0 {
 		t.Error("traced full set emitted no events")
@@ -189,6 +200,9 @@ func TestCacheDistinguishesSetups(t *testing.T) {
 		{Scheme: netsim.Pooled, AppOffset: 1000},
 		{Scheme: netsim.EarlyDemux, Instrument: true},
 		{Scheme: netsim.EarlyDemux, Model: cost.NewModel(cost.MicronP166, cost.CreditNetOC12)},
+		// The planes produce identical measurements but run on different
+		// testbeds; sharing entries would mask a plane-identity bug.
+		{Scheme: netsim.EarlyDemux, Plane: mem.Bytes},
 	}
 	if _, err := c.Measure(base, core.Copy, 4096); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"repro/internal/mem"
+)
+
+// The experiments layer defaults to the symbolic data plane: figure and
+// table generation never reads payload contents except to verify
+// delivery, which the symbolic plane answers from provenance
+// descriptors, so simulating materialized bytes is pure overhead.
+// Output stays byte-identical on either plane — the cost model charges
+// on lengths, never contents — which TestFullSetByteIdenticalAcrossRegimes
+// checks on every run.
+
+// planeBox wraps the interface so atomic.Value accepts both concrete
+// plane types.
+type planeBox struct{ p mem.DataPlane }
+
+var defaultPlane atomic.Value // planeBox
+
+func init() { defaultPlane.Store(planeBox{mem.Symbolic}) }
+
+// SetDataPlane selects the data plane used by Measure for Setups that
+// do not pin one explicitly (geniebench -dataplane). nil restores the
+// package default (symbolic).
+func SetDataPlane(p mem.DataPlane) {
+	if p == nil {
+		p = mem.Symbolic
+	}
+	defaultPlane.Store(planeBox{p})
+}
+
+// DefaultDataPlane returns the package-wide data plane.
+func DefaultDataPlane() mem.DataPlane { return defaultPlane.Load().(planeBox).p }
+
+// plane resolves the setup's data plane: the explicit field when set,
+// the package default otherwise.
+func (s Setup) plane() mem.DataPlane {
+	if s.Plane != nil {
+		return s.Plane
+	}
+	return DefaultDataPlane()
+}

@@ -49,6 +49,7 @@ func measureTestbedConfig(s Setup) core.TestbedConfig {
 		Buffering:  s.Scheme,
 		OverlayOff: s.DevOff,
 		Genie:      s.Genie,
+		Plane:      s.plane(),
 	}
 }
 

@@ -32,7 +32,9 @@ type FrameID int
 //     is dropped.
 type Frame struct {
 	id   FrameID
-	data []byte
+	data []byte // materialized contents (Bytes plane)
+	runs []Run  // provenance runs covering [0, size) (Symbolic plane)
+	size int    // page size, set at materialization
 
 	inRefs  int // references held by in-flight input operations
 	outRefs int // references held by in-flight output operations
@@ -49,8 +51,113 @@ func (f *Frame) ID() FrameID { return f.id }
 // Data returns the frame's backing bytes. The slice aliases the frame:
 // writes through it model DMA or CPU stores into physical memory.
 // Backing stores are materialized lazily: a frame that has never been
-// allocated has no data yet and returns nil.
+// allocated has no data yet and returns nil. On the symbolic plane
+// frames have no materialized bytes and Data is always nil; use the
+// plane-agnostic accessors (ReadAt, WriteBuf, ...) instead.
 func (f *Frame) Data() []byte { return f.data }
+
+// Size returns the frame size in bytes (0 before first allocation).
+func (f *Frame) Size() int { return f.size }
+
+// Symbolic reports whether the frame carries provenance runs instead
+// of materialized bytes.
+func (f *Frame) Symbolic() bool { return f.runs != nil }
+
+// WriteBuf overwrites frame bytes [off, off+b.Len()) with b. On the
+// bytes plane this resolves b into the backing store; on the symbolic
+// plane it splices b's runs in. A materialized b written into a
+// symbolic frame is cloned (the caller may recycle its storage), while
+// run-backed buffers are spliced by reference — runs are immutable.
+func (f *Frame) WriteBuf(off int, b Buf) {
+	n := b.Len()
+	if off < 0 || off+n > f.size {
+		panic(fmt.Sprintf("mem: WriteBuf(%d..%d) overruns %d-byte frame", off, off+n, f.size))
+	}
+	if n == 0 {
+		return
+	}
+	if f.runs == nil {
+		b.ReadAt(f.data[off:off+n], 0)
+		return
+	}
+	ins := b.runs
+	if b.bytes != nil {
+		ins = []Run{{Src: SrcLiteral, Len: n, lit: append([]byte(nil), b.bytes...)}}
+	}
+	f.runs = spliceRuns(f.runs, f.size, off, ins, n)
+}
+
+// ReadBuf returns frame bytes [off, off+n) as a buffer. On the bytes
+// plane the result is an independent copy (callers may hold it across
+// later frame writes); on the symbolic plane it is an O(#runs) slice
+// of immutable runs, independent for the same reason.
+func (f *Frame) ReadBuf(off, n int) Buf {
+	if off < 0 || off+n > f.size {
+		panic(fmt.Sprintf("mem: ReadBuf(%d..%d) overruns %d-byte frame", off, off+n, f.size))
+	}
+	if n == 0 {
+		return Buf{}
+	}
+	if f.runs == nil {
+		out := make([]byte, n)
+		copy(out, f.data[off:])
+		return BufBytes(out)
+	}
+	return Buf{n: n, runs: sliceRuns(f.runs, off, n)}
+}
+
+// WriteAt overwrites frame bytes [off, off+len(p)) with p, cloning p
+// on the symbolic plane (copy-on-store keeps literal runs immutable).
+func (f *Frame) WriteAt(off int, p []byte) {
+	f.WriteBuf(off, BufBytes(p))
+}
+
+// ReadAt resolves frame bytes [off, off+len(p)) into p.
+func (f *Frame) ReadAt(p []byte, off int) {
+	if off < 0 || off+len(p) > f.size {
+		panic(fmt.Sprintf("mem: ReadAt(%d..%d) overruns %d-byte frame", off, off+len(p), f.size))
+	}
+	if f.runs == nil {
+		copy(p, f.data[off:])
+		return
+	}
+	resolveRuns(sliceRuns(f.runs, off, len(p)), p)
+}
+
+// CopyFrom replaces the frame's entire contents with src's (the page
+// copy of COW resolution). O(pageSize) on the bytes plane, O(#runs)
+// on the symbolic plane.
+func (f *Frame) CopyFrom(src *Frame) {
+	if f.runs == nil {
+		copy(f.data, src.data)
+		return
+	}
+	f.runs = sliceRuns(src.runs, 0, src.size)
+}
+
+// ClearRange zeroes frame bytes [off, off+n).
+func (f *Frame) ClearRange(off, n int) {
+	if n == 0 {
+		return
+	}
+	if f.runs == nil {
+		clear(f.data[off : off+n])
+		return
+	}
+	f.runs = spliceRuns(f.runs, f.size, off, []Run{{Src: SrcZero, Len: n}}, n)
+}
+
+// SnapshotBuf returns an independent snapshot of the whole page (the
+// pageout path's copy to backing store).
+func (f *Frame) SnapshotBuf() Buf { return f.ReadBuf(0, f.size) }
+
+// LoadBuf installs b as the frame's entire contents (the page-in path).
+func (f *Frame) LoadBuf(b Buf) {
+	if b.Len() != f.size {
+		panic(fmt.Sprintf("mem: LoadBuf of %d bytes into %d-byte frame", b.Len(), f.size))
+	}
+	f.WriteBuf(0, b)
+}
 
 // InRefs returns the number of outstanding input references.
 func (f *Frame) InRefs() int { return f.inRefs }
@@ -95,6 +202,7 @@ type Stats struct {
 // PhysMem is a simulated bank of physical memory.
 type PhysMem struct {
 	pageSize  int
+	plane     DataPlane
 	frames    []Frame
 	freeList  []FrameID // LIFO
 	reclaimer func(need int) int
@@ -102,14 +210,25 @@ type PhysMem struct {
 }
 
 // New creates a physical memory of numFrames frames of pageSize bytes
-// each. It panics if either argument is nonpositive, mirroring the fact
-// that a machine without memory cannot boot.
+// each, on the materialized Bytes plane. It panics if either argument
+// is nonpositive, mirroring the fact that a machine without memory
+// cannot boot.
 func New(numFrames, pageSize int) *PhysMem {
+	return NewWithPlane(numFrames, pageSize, Bytes)
+}
+
+// NewWithPlane is New with an explicit data plane. A nil plane means
+// Bytes.
+func NewWithPlane(numFrames, pageSize int, plane DataPlane) *PhysMem {
 	if numFrames <= 0 || pageSize <= 0 {
 		panic(fmt.Sprintf("mem.New(%d, %d): nonpositive size", numFrames, pageSize))
 	}
+	if plane == nil {
+		plane = Bytes
+	}
 	pm := &PhysMem{
 		pageSize: pageSize,
+		plane:    plane,
 		frames:   make([]Frame, numFrames),
 		freeList: make([]FrameID, 0, numFrames),
 	}
@@ -159,6 +278,12 @@ func (pm *PhysMem) Reset() {
 // PageSize returns the frame size in bytes.
 func (pm *PhysMem) PageSize() int { return pm.pageSize }
 
+// Plane returns the data plane frames are backed by.
+func (pm *PhysMem) Plane() DataPlane { return pm.plane }
+
+// Symbolic reports whether frames carry runs instead of bytes.
+func (pm *PhysMem) Symbolic() bool { return pm.plane.Symbolic() }
+
 // NumFrames returns the total number of frames.
 func (pm *PhysMem) NumFrames() int { return len(pm.frames) }
 
@@ -204,8 +329,9 @@ func (pm *PhysMem) alloc() (*Frame, error) {
 	id := pm.freeList[n-1]
 	pm.freeList = pm.freeList[:n-1]
 	f := &pm.frames[id]
-	if f.data == nil {
-		f.data = make([]byte, pm.pageSize)
+	if f.data == nil && f.runs == nil {
+		pm.plane.materialize(f, pm.pageSize)
+		f.size = pm.pageSize
 		f.pristine = true
 	}
 	f.free = false
@@ -237,7 +363,11 @@ func (pm *PhysMem) AllocZeroed() (*Frame, error) {
 		return nil, err
 	}
 	if !f.pristine {
-		clear(f.data)
+		if f.runs != nil {
+			f.runs = []Run{{Src: SrcZero, Len: f.size}}
+		} else {
+			clear(f.data)
+		}
 	}
 	f.pristine = false
 	pm.stats.Zeroed++

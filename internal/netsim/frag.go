@@ -34,7 +34,7 @@ type fragment struct {
 	off   int  // byte offset within the datagram
 	total int  // datagram length (known to AAL5 receivers at end of frame)
 	last  bool // end-of-datagram marker (AAL5 user-to-user bit)
-	data  []byte
+	data  mem.Buf
 }
 
 // reassembly tracks one in-progress datagram per port.
@@ -50,22 +50,27 @@ type reassembly struct {
 // if one is configured. onSent fires when the last fragment has left.
 // With MTU == 0 it is identical to Transmit.
 func (n *NIC) TransmitDatagram(port int, payload []byte, onSent func()) error {
-	if n.mtu <= 0 || len(payload) <= n.mtu {
-		return n.Transmit(port, payload, onSent)
+	return n.TransmitDatagramBuf(port, mem.BufBytes(payload), onSent)
+}
+
+// TransmitDatagramBuf is TransmitDatagram for a data-plane buffer.
+func (n *NIC) TransmitDatagramBuf(port int, payload mem.Buf, onSent func()) error {
+	if n.mtu <= 0 || payload.Len() <= n.mtu {
+		return n.TransmitBuf(port, payload, onSent)
 	}
 	if n.link == nil {
 		return ErrNotAttached
 	}
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	if payload.Len() > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payload.Len())
 	}
 	n.stats.TxFrames++
-	n.stats.TxBytes += uint64(len(payload))
+	n.stats.TxBytes += uint64(payload.Len())
 	payload = n.applyFault(payload)
 
 	start := n.eng.Now().Max(n.busyUntil)
 	peer := n.peer
-	total := len(payload)
+	total := payload.Len()
 	cellTime := n.link.perByteUS * 48 // per-fragment trailer/padding tax
 
 	off := 0
@@ -73,15 +78,15 @@ func (n *NIC) TransmitDatagram(port int, payload []byte, onSent func()) error {
 		end := min(off+n.mtu, total)
 		frag := fragment{
 			port: port, off: off, total: total, last: end == total,
-			data: payload[off:end],
+			data: payload.Slice(off, end-off),
 		}
-		wire := n.link.perByteUS * float64(len(frag.data))
+		wire := n.link.perByteUS * float64(frag.data.Len())
 		if off > 0 {
 			wire += cellTime
 		}
 		if n.tr != nil {
 			n.tr.Emit(trace.Event{At: start, Dur: sim.Duration(wire), Phase: trace.Complete,
-				Cat: trace.CatNet, Name: "net.tx.frag", Port: port, Bytes: len(frag.data)})
+				Cat: trace.CatNet, Name: "net.tx.frag", Port: port, Bytes: frag.data.Len()})
 		}
 		start = start.Add(sim.Duration(wire))
 		deliver := start.Add(sim.Duration(n.link.fixedUS))
@@ -106,7 +111,7 @@ func (n *NIC) TransmitDatagram(port int, payload []byte, onSent func()) error {
 func (n *NIC) receiveFragment(f fragment) {
 	if n.tr != nil {
 		n.tr.Emit(trace.Event{At: n.eng.Now(), Phase: trace.Instant, Cat: trace.CatNet,
-			Name: "net.rx.frag", Port: f.port, Bytes: len(f.data)})
+			Name: "net.rx.frag", Port: f.port, Bytes: f.data.Len()})
 	}
 	r := n.reasm[f.port]
 	if r == nil {
@@ -151,17 +156,17 @@ func (n *NIC) receiveFragment(f fragment) {
 	case r.target != nil:
 		limit := r.target.Len()
 		if f.off < limit {
-			end := min(f.off+len(f.data), limit)
-			r.target.DMAWrite(f.off, f.data[:end-f.off])
+			end := min(f.off+f.data.Len(), limit)
+			r.target.DMAWrite(f.off, f.data.Slice(0, end-f.off))
 		}
 	case r.overlay != nil:
-		writeToFramesAt(r.overlay, n.overlayOff+f.off, f.data)
+		mem.ScatterFrames(r.overlay, n.overlayOff+f.off, f.data)
 	case r.outboard != nil:
-		copy(r.outboard.data[f.off:], f.data)
+		r.outboard.writeAt(f.off, f.data)
 	default:
 		placed = false
 	}
-	r.received += len(f.data)
+	r.received += f.data.Len()
 
 	if !f.last {
 		return
@@ -192,23 +197,4 @@ func (n *NIC) receiveFragment(f fragment) {
 		pkt.Outboard = r.outboard
 	}
 	n.rx(pkt)
-}
-
-// writeToFramesAt scatters data into page frames starting at a byte
-// offset from the beginning of the frame list.
-func writeToFramesAt(frames []*mem.Frame, off int, data []byte) {
-	if len(frames) == 0 {
-		return
-	}
-	ps := len(frames[0].Data())
-	for len(data) > 0 {
-		fi := off / ps
-		fo := off % ps
-		if fi >= len(frames) {
-			panic(fmt.Sprintf("netsim: fragment overruns overlay by %d bytes", len(data)))
-		}
-		n := copy(frames[fi].Data()[fo:], data)
-		data = data[n:]
-		off += n
-	}
 }

@@ -65,8 +65,9 @@ var (
 // in-place application buffer reference (vm.IORef), or a kernel system
 // buffer. DMA bypasses page tables and protections by definition.
 type DMATarget interface {
-	// DMAWrite stores data at byte offset off within the target.
-	DMAWrite(off int, data []byte)
+	// DMAWrite stores data at byte offset off within the target. On the
+	// symbolic data plane the store is a descriptor splice.
+	DMAWrite(off int, data mem.Buf)
 	// Len returns the target's capacity in bytes.
 	Len() int
 }
@@ -265,41 +266,50 @@ func (n *NIC) PostedInputs(port int) int { return len(n.posted[port]) }
 func (n *NIC) CorruptNextTx(off int) { n.corruptAt = off }
 
 // applyFault consumes an armed corruption, returning the payload to send.
-func (n *NIC) applyFault(payload []byte) []byte {
-	if n.corruptAt < 0 || n.corruptAt >= len(payload) {
+// Mangling is inherently content-level: an armed fault resolves the
+// payload to bytes on either plane.
+func (n *NIC) applyFault(payload mem.Buf) mem.Buf {
+	if n.corruptAt < 0 || n.corruptAt >= payload.Len() {
 		return payload
 	}
-	mangled := make([]byte, len(payload))
-	copy(mangled, payload)
+	mangled := make([]byte, payload.Len())
+	payload.ReadAt(mangled, 0)
 	mangled[n.corruptAt] ^= 0x55
 	n.corruptAt = -1
-	return mangled
+	return mem.BufBytes(mangled)
 }
 
 // Transmit serializes payload onto the link as one AAL5 frame and
 // invokes onSent (if non-nil) when the last cell has left the adapter.
 // Delivery to the peer includes the link's fixed latency.
 func (n *NIC) Transmit(port int, payload []byte, onSent func()) error {
+	return n.TransmitBuf(port, mem.BufBytes(payload), onSent)
+}
+
+// TransmitBuf is Transmit for a data-plane buffer. The buffer must be
+// an independent snapshot (all producers in this codebase hand those
+// out): delivery happens later on the simulated clock.
+func (n *NIC) TransmitBuf(port int, payload mem.Buf, onSent func()) error {
 	if n.link == nil {
 		return ErrNotAttached
 	}
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	if payload.Len() > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payload.Len())
 	}
 	payload = n.applyFault(payload)
 	n.stats.TxFrames++
-	n.stats.TxBytes += uint64(len(payload))
+	n.stats.TxBytes += uint64(payload.Len())
 
 	start := n.eng.Now().Max(n.busyUntil)
-	wire := sim.Duration(n.link.perByteUS * float64(len(payload)))
+	wire := sim.Duration(n.link.perByteUS * float64(payload.Len()))
 	n.busyUntil = start.Add(wire)
 	peer := n.peer
 
 	if n.tr != nil {
 		n.tr.Emit(trace.Event{At: start, Dur: wire, Phase: trace.Complete, Cat: trace.CatNet,
-			Name: "net.tx", Port: port, Bytes: len(payload)})
+			Name: "net.tx", Port: port, Bytes: payload.Len()})
 		n.tr.Emit(trace.Event{At: n.busyUntil, Dur: sim.Duration(n.link.fixedUS), Phase: trace.Complete,
-			Cat: trace.CatNet, Name: "net.deliver", Port: port, Bytes: len(payload)})
+			Cat: trace.CatNet, Name: "net.deliver", Port: port, Bytes: payload.Len()})
 	}
 	if onSent != nil {
 		n.eng.ScheduleAt(n.busyUntil, onSent)
@@ -311,18 +321,18 @@ func (n *NIC) Transmit(port int, payload []byte, onSent func()) error {
 
 // receive runs at frame arrival and routes the payload according to the
 // input buffering architecture.
-func (n *NIC) receive(port int, payload []byte) {
+func (n *NIC) receive(port int, payload mem.Buf) {
 	n.stats.RxFrames++
-	n.stats.RxBytes += uint64(len(payload))
-	pkt := Packet{Port: port, Length: len(payload), Arrival: n.eng.Now()}
+	n.stats.RxBytes += uint64(payload.Len())
+	pkt := Packet{Port: port, Length: payload.Len(), Arrival: n.eng.Now()}
 
 	switch n.buffering {
 	case EarlyDemux:
 		if q := n.posted[port]; len(q) > 0 {
 			post := q[0]
 			n.posted[port] = q[1:]
-			limit := min(len(payload), post.target.Len())
-			post.target.DMAWrite(0, payload[:limit])
+			limit := min(payload.Len(), post.target.Len())
+			post.target.DMAWrite(0, payload.Slice(0, limit))
 			if n.tr != nil {
 				n.tr.Emit(trace.Event{At: n.eng.Now(), Phase: trace.Instant, Cat: trace.CatNet,
 					Name: "net.rx.dma", Port: port, Bytes: limit})
@@ -336,31 +346,31 @@ func (n *NIC) receive(port int, payload []byte) {
 		// buffering if a pool exists (Section 6.2.2), else drop.
 		if n.pool == nil {
 			n.stats.Dropped++
-			n.dropEvent(port, len(payload))
+			n.dropEvent(port, payload.Len())
 			return
 		}
 		fallthrough
 
 	case Pooled:
-		frames, err := n.pool.Get(n.pool.PagesFor(n.overlayOff + len(payload)))
+		frames, err := n.pool.Get(n.pool.PagesFor(n.overlayOff + payload.Len()))
 		if err != nil {
 			n.stats.PoolFailures++
 			n.stats.Dropped++
-			n.dropEvent(port, len(payload))
+			n.dropEvent(port, payload.Len())
 			return
 		}
-		writeToFrames(frames, n.overlayOff, payload)
+		mem.ScatterFrames(frames, n.overlayOff, payload)
 		pkt.Overlay = frames
 		pkt.OverlayOff = n.overlayOff
 
 	case OutboardBuffering:
-		buf, err := n.outboard.Alloc(len(payload))
+		buf, err := n.outboard.Alloc(payload.Len())
 		if err != nil {
 			n.stats.Dropped++
-			n.dropEvent(port, len(payload))
+			n.dropEvent(port, payload.Len())
 			return
 		}
-		copy(buf.data, payload)
+		buf.writeAt(0, payload)
 		pkt.Outboard = buf
 	}
 
@@ -368,7 +378,7 @@ func (n *NIC) receive(port int, payload []byte) {
 		n.rx(pkt)
 	} else {
 		n.stats.Dropped++
-		n.dropEvent(port, len(payload))
+		n.dropEvent(port, payload.Len())
 	}
 }
 
@@ -378,22 +388,6 @@ func (n *NIC) dropEvent(port, bytes int) {
 	if n.tr != nil {
 		n.tr.Emit(trace.Event{At: n.eng.Now(), Phase: trace.Instant, Cat: trace.CatNet,
 			Name: "net.rx.drop", Port: port, Bytes: bytes})
-	}
-}
-
-// writeToFrames scatters data into page frames starting at off within
-// the first frame.
-func writeToFrames(frames []*mem.Frame, off int, data []byte) {
-	for _, f := range frames {
-		if len(data) == 0 {
-			return
-		}
-		n := copy(f.Data()[off:], data)
-		data = data[n:]
-		off = 0
-	}
-	if len(data) > 0 {
-		panic(fmt.Sprintf("netsim: overlay frames short by %d bytes", len(data)))
 	}
 }
 

@@ -15,8 +15,8 @@ const pageSize = 4096
 // hostBuffer is a simple DMATarget for tests.
 type hostBuffer struct{ data []byte }
 
-func (h *hostBuffer) DMAWrite(off int, data []byte) { copy(h.data[off:], data) }
-func (h *hostBuffer) Len() int                      { return len(h.data) }
+func (h *hostBuffer) DMAWrite(off int, data mem.Buf) { data.ReadAt(h.data[off:off+data.Len()], 0) }
+func (h *hostBuffer) Len() int                       { return len(h.data) }
 
 func newPair(t *testing.T, cfgA, cfgB NICConfig) (*sim.Engine, *NIC, *NIC) {
 	t.Helper()

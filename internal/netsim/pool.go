@@ -182,31 +182,47 @@ func (o *OutboardMemory) Alloc(n int) (*OutboardBuffer, error) {
 	if o.tr != nil {
 		o.tr.Instant(trace.CatNet, "net.outboard.stage", n)
 	}
-	return &OutboardBuffer{mem: o, data: make([]byte, n)}, nil
+	return &OutboardBuffer{mem: o, n: n, content: mem.ZeroBuf(n)}, nil
 }
 
-// OutboardBuffer is a staged frame in adapter memory.
+// OutboardBuffer is a staged frame in adapter memory. Its contents are
+// held as a data-plane buffer: staging a bytes-plane payload splices a
+// literal run, a symbolic payload splices descriptors — either way the
+// adapter never materializes a second copy of the datagram.
 type OutboardBuffer struct {
-	mem   *OutboardMemory
-	data  []byte
-	freed bool
+	mem     *OutboardMemory
+	n       int
+	content mem.Buf
+	freed   bool
 }
 
 // Len returns the staged payload length.
-func (b *OutboardBuffer) Len() int { return len(b.data) }
+func (b *OutboardBuffer) Len() int { return b.n }
+
+// writeAt stages data at byte offset off (fragment reassembly lands
+// fragments at their datagram offsets).
+func (b *OutboardBuffer) writeAt(off int, data mem.Buf) {
+	head := b.content.Slice(0, off)
+	tail := b.content.Slice(off+data.Len(), b.n-off-data.Len())
+	b.content = head.Append(data).Append(tail)
+}
 
 // DMAToHost transfers the staged payload into a host target — the
 // dispose-time DMA of outboard input.
 func (b *OutboardBuffer) DMAToHost(target DMATarget) {
-	limit := min(len(b.data), target.Len())
-	target.DMAWrite(0, b.data[:limit])
+	limit := min(b.n, target.Len())
+	target.DMAWrite(0, b.content.Slice(0, limit))
 	if b.mem.tr != nil {
 		b.mem.tr.Instant(trace.CatNet, "net.outboard.dma", limit)
 	}
 }
 
-// Bytes exposes the staged payload (for checksum engines and tests).
-func (b *OutboardBuffer) Bytes() []byte { return b.data }
+// Bytes materializes the staged payload (for checksum engines and
+// tests).
+func (b *OutboardBuffer) Bytes() []byte { return b.content.Resolve() }
+
+// Buf returns the staged payload as a data-plane buffer.
+func (b *OutboardBuffer) Buf() mem.Buf { return b.content }
 
 // Free returns the buffer's space to the adapter.
 func (b *OutboardBuffer) Free() {
@@ -214,6 +230,6 @@ func (b *OutboardBuffer) Free() {
 		panic("netsim: double free of outboard buffer")
 	}
 	b.freed = true
-	b.mem.used -= len(b.data)
-	b.data = nil
+	b.mem.used -= b.n
+	b.content = mem.Buf{}
 }

@@ -62,7 +62,7 @@ func (as *AddressSpace) Fault(va Addr, write bool) error {
 				if err != nil {
 					return err
 				}
-				copy(nf.Data(), f.Data())
+				nf.CopyFrom(f)
 				old := r.object.swapPage(pi, nf)
 				as.pt[pageVA] = PTE{Frame: nf, Prot: ProtRW}
 				// The old page now belongs solely to the pending output;
@@ -91,7 +91,7 @@ func (as *AddressSpace) Fault(va Addr, write bool) error {
 			if err != nil {
 				return err
 			}
-			copy(nf.Data(), f.Data())
+			nf.CopyFrom(f)
 			old := r.object.swapPage(pi, nf)
 			as.pt[pageVA] = PTE{Frame: nf, Prot: ProtRW}
 			sys.pm.Release(old)
@@ -109,7 +109,7 @@ func (as *AddressSpace) Fault(va Addr, write bool) error {
 		if err != nil {
 			return err
 		}
-		copy(nf.Data(), f.Data())
+		nf.CopyFrom(f)
 		r.object.insertPage(pi, nf)
 		as.pt[pageVA] = PTE{Frame: nf, Prot: ProtRW}
 		sys.stats.COWCopies++
@@ -127,7 +127,7 @@ func (as *AddressSpace) pageIn(r *Region, pageVA Addr, pi int, holder *MemObject
 	if err != nil {
 		return err
 	}
-	copy(nf.Data(), holder.backing[pi])
+	nf.LoadBuf(holder.backing[pi])
 	delete(holder.backing, pi)
 	holder.insertPage(pi, nf)
 	sys.stats.PageIns++

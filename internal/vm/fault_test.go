@@ -3,6 +3,8 @@ package vm
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/mem"
 )
 
 // TestTCOWCopyOnPendingOutput is the central TCOW scenario (Section 5.1):
@@ -230,7 +232,7 @@ func TestInputDisabledCOW(t *testing.T) {
 	}
 
 	// DMA arrives into the source buffer; the copy must NOT see it.
-	inref.DMAWrite(0, []byte("AFTER INPUT!"))
+	inref.DMAWrite(0, mem.BufBytes([]byte("AFTER INPUT!")))
 	got := make([]byte, 12)
 	if err := dst.Peek(nr.Start(), got); err != nil {
 		t.Fatal(err)
@@ -267,7 +269,7 @@ func TestInputReferenceResolvesCOWFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inref.DMAWrite(0, []byte("DMAED!"))
+	inref.DMAWrite(0, mem.BufBytes([]byte("DMAED!")))
 	inref.Unreference()
 
 	got := make([]byte, 6)

@@ -3,6 +3,8 @@ package vm
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/mem"
 )
 
 func TestForkIdentityAddresses(t *testing.T) {
@@ -148,7 +150,7 @@ func TestForkDuringPendingInput(t *testing.T) {
 	if sys.Stats().PhysRegionCopies == 0 {
 		t.Fatal("fork of inputting region did not copy physically")
 	}
-	ref.DMAWrite(0, []byte("DMA-DATA!"))
+	ref.DMAWrite(0, mem.BufBytes([]byte("DMA-DATA!")))
 	ref.Unreference()
 	got := make([]byte, 9)
 	if err := child.Peek(r.Start(), got); err != nil {

@@ -118,7 +118,7 @@ func allocPrivate(sys *System, obj *MemObject, pi int, lower *mem.Frame) (*mem.F
 		if err != nil {
 			return nil, err
 		}
-		copy(nf.Data(), holder.backing[pi])
+		nf.LoadBuf(holder.backing[pi])
 		delete(holder.backing, pi)
 		obj.insertPage(pi, nf)
 		sys.stats.PageIns++
@@ -129,7 +129,7 @@ func allocPrivate(sys *System, obj *MemObject, pi int, lower *mem.Frame) (*mem.F
 		return nil, err
 	}
 	if lower != nil {
-		copy(nf.Data(), lower.Data())
+		nf.CopyFrom(lower)
 	}
 	obj.insertPage(pi, nf)
 	return nf, nil
@@ -183,21 +183,24 @@ func (ref *IORef) rollback() { ref.Unreference() }
 // DMAWrite models a device storing data into the referenced extents,
 // starting at byte offset off within the request. It bypasses page
 // tables and protections entirely, exactly like hardware DMA — this is
-// why COW must be input-disabled (Section 3.3).
-func (ref *IORef) DMAWrite(off int, data []byte) {
-	pos := 0
+// why COW must be input-disabled (Section 3.3). On the symbolic plane
+// the store is a descriptor splice, not a byte copy.
+func (ref *IORef) DMAWrite(off int, data mem.Buf) {
+	pos, dOff := 0, 0
+	remaining := data.Len()
 	for _, e := range ref.extents {
-		if off < pos+e.Len && len(data) > 0 {
+		if off < pos+e.Len && remaining > 0 {
 			start := max(off-pos, 0)
-			n := min(e.Len-start, len(data))
-			copy(e.Frame.Data()[e.Off+start:e.Off+start+n], data[:n])
-			data = data[n:]
+			n := min(e.Len-start, remaining)
+			e.Frame.WriteBuf(e.Off+start, data.Slice(dOff, n))
+			dOff += n
+			remaining -= n
 			off += n
 		}
 		pos += e.Len
 	}
-	if len(data) > 0 {
-		panic(fmt.Sprintf("vm: DMAWrite overruns request by %d bytes", len(data)))
+	if remaining > 0 {
+		panic(fmt.Sprintf("vm: DMAWrite overruns request by %d bytes", remaining))
 	}
 }
 
@@ -208,7 +211,7 @@ func (ref *IORef) DMARead(off int, buf []byte) {
 		if off < pos+e.Len && len(buf) > 0 {
 			start := max(off-pos, 0)
 			n := min(e.Len-start, len(buf))
-			copy(buf[:n], e.Frame.Data()[e.Off+start:e.Off+start+n])
+			e.Frame.ReadAt(buf[:n], e.Off+start)
 			buf = buf[n:]
 			off += n
 		}
@@ -217,4 +220,32 @@ func (ref *IORef) DMARead(off int, buf []byte) {
 	if len(buf) > 0 {
 		panic(fmt.Sprintf("vm: DMARead overruns request by %d bytes", len(buf)))
 	}
+}
+
+// DMAReadBuf is DMARead returning a buffer: a fresh materialized copy
+// on the bytes plane, an O(#extents) run gather on the symbolic plane.
+// Either way the result is an independent snapshot — it stays valid
+// after the request's frames are released or overwritten.
+func (ref *IORef) DMAReadBuf(off, n int) mem.Buf {
+	if len(ref.extents) == 0 || !ref.extents[0].Frame.Symbolic() {
+		out := make([]byte, n)
+		ref.DMARead(off, out)
+		return mem.BufBytes(out)
+	}
+	out := mem.Buf{}
+	pos := 0
+	for _, e := range ref.extents {
+		if off < pos+e.Len && n > 0 {
+			start := max(off-pos, 0)
+			k := min(e.Len-start, n)
+			out = out.Append(e.Frame.ReadBuf(e.Off+start, k))
+			n -= k
+			off += k
+		}
+		pos += e.Len
+	}
+	if n > 0 {
+		panic(fmt.Sprintf("vm: DMAReadBuf overruns request by %d bytes", n))
+	}
+	return out
 }

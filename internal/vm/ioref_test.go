@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"repro/internal/mem"
 )
 
 func TestReferenceRangeExtents(t *testing.T) {
@@ -150,7 +152,7 @@ func TestReferenceRegionForMoveReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref.DMAWrite(0, []byte("new datagram"))
+	ref.DMAWrite(0, mem.BufBytes([]byte("new datagram")))
 	ref.Unreference()
 	as.Reinstate(r)
 	if err := r.MarkMovedIn(); err != nil {
@@ -179,8 +181,8 @@ func TestDMAWriteReadOffsets(t *testing.T) {
 	defer ref.Unreference()
 
 	// Write in two chunks at offsets, read back the whole range.
-	ref.DMAWrite(0, bytes.Repeat([]byte{0x01}, testPageSize))
-	ref.DMAWrite(testPageSize, bytes.Repeat([]byte{0x02}, testPageSize))
+	ref.DMAWrite(0, mem.BufBytes(bytes.Repeat([]byte{0x01}, testPageSize)))
+	ref.DMAWrite(testPageSize, mem.BufBytes(bytes.Repeat([]byte{0x02}, testPageSize)))
 	out := make([]byte, length)
 	ref.DMARead(0, out)
 	for i := 0; i < testPageSize; i++ {
@@ -217,7 +219,7 @@ func TestDMAOverrunPanics(t *testing.T) {
 			t.Fatal("DMA overrun did not panic")
 		}
 	}()
-	ref.DMAWrite(0, make([]byte, 256))
+	ref.DMAWrite(0, mem.BufBytes(make([]byte, 256)))
 }
 
 // TestDeferredFreeAfterRegionRemovalDuringIO is the end-to-end safety

@@ -22,7 +22,7 @@ type MemObject struct {
 	shadow *MemObject         // next object in the COW chain, or nil
 
 	inputRefs int            // pending in-place input references (Section 3.3)
-	backing   map[int][]byte // simulated backing store for paged-out pages
+	backing   map[int]mem.Buf // simulated backing store for paged-out pages
 	refs      int            // regions referencing this object
 }
 

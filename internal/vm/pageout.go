@@ -1,6 +1,10 @@
 package vm
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/mem"
+)
 
 // PageoutDaemon is the simulated pageout daemon. Its eviction rule is
 // the paper's input-disabled pageout (Section 3.2): pages with nonzero
@@ -96,11 +100,9 @@ func (d *PageoutDaemon) Evictable() int {
 func (d *PageoutDaemon) evict(obj *MemObject, pi int) {
 	f := obj.pages[pi]
 	if obj.backing == nil {
-		obj.backing = make(map[int][]byte)
+		obj.backing = make(map[int]mem.Buf)
 	}
-	data := make([]byte, len(f.Data()))
-	copy(data, f.Data())
-	obj.backing[pi] = data
+	obj.backing[pi] = f.SnapshotBuf()
 	obj.removePage(pi)
 	d.sys.invalidateFrame(f)
 	d.sys.pm.Release(f)

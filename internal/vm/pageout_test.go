@@ -3,6 +3,8 @@ package vm
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/mem"
 )
 
 func TestPageoutRoundTrip(t *testing.T) {
@@ -56,7 +58,7 @@ func TestInputDisabledPageout(t *testing.T) {
 		t.Fatalf("paged out %d, want only the 2 unreferenced pages", got)
 	}
 	// DMA lands safely in the still-resident pages.
-	ref.DMAWrite(0, []byte("safe input"))
+	ref.DMAWrite(0, mem.BufBytes([]byte("safe input")))
 	ref.Unreference()
 	buf := make([]byte, 10)
 	if err := as.Peek(r.Start()+Addr(testPageSize), buf); err != nil {

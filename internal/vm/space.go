@@ -198,13 +198,67 @@ func (as *AddressSpace) access(va Addr, buf []byte, write bool) error {
 			pte = as.pt[pageVA]
 		}
 		if write {
-			copy(pte.Frame.Data()[pgOff:pgOff+n], buf[off:off+n])
+			pte.Frame.WriteAt(pgOff, buf[off:off+n])
 		} else {
-			copy(buf[off:off+n], pte.Frame.Data()[pgOff:pgOff+n])
+			pte.Frame.ReadAt(buf[off:off+n], pgOff)
 		}
 		off += n
 	}
 	return nil
+}
+
+// PokeBuf is Poke for a data-plane buffer: on the symbolic plane the
+// store is a descriptor splice per page instead of a byte copy. Fault
+// handling is identical to Poke.
+func (as *AddressSpace) PokeBuf(va Addr, b mem.Buf) error {
+	sys := as.sys
+	off := 0
+	for off < b.Len() {
+		pageVA := sys.pageFloor(va + Addr(off))
+		pgOff := int(va + Addr(off) - pageVA)
+		n := min(sys.pageSize-pgOff, b.Len()-off)
+		pte, ok := as.pt[pageVA]
+		if !ok || !pte.Prot.CanRead() || !pte.Prot.CanWrite() {
+			if err := as.Fault(pageVA, true); err != nil {
+				return err
+			}
+			pte = as.pt[pageVA]
+		}
+		pte.Frame.WriteBuf(pgOff, b.Slice(off, n))
+		off += n
+	}
+	return nil
+}
+
+// PeekBuf is Peek returning a data-plane buffer: an independent
+// materialized copy on the bytes plane, an O(#extents) run gather on
+// the symbolic plane. Fault handling is identical to Peek.
+func (as *AddressSpace) PeekBuf(va Addr, length int) (mem.Buf, error) {
+	if !as.sys.pm.Symbolic() {
+		buf := make([]byte, length)
+		if err := as.Peek(va, buf); err != nil {
+			return mem.Buf{}, err
+		}
+		return mem.BufBytes(buf), nil
+	}
+	sys := as.sys
+	out := mem.Buf{}
+	off := 0
+	for off < length {
+		pageVA := sys.pageFloor(va + Addr(off))
+		pgOff := int(va + Addr(off) - pageVA)
+		n := min(sys.pageSize-pgOff, length-off)
+		pte, ok := as.pt[pageVA]
+		if !ok || !pte.Prot.CanRead() {
+			if err := as.Fault(pageVA, false); err != nil {
+				return mem.Buf{}, err
+			}
+			pte = as.pt[pageVA]
+		}
+		out = out.Append(pte.Frame.ReadBuf(pgOff, n))
+		off += n
+	}
+	return out, nil
 }
 
 // ReadPhys reads through the object chain regardless of page table state
@@ -224,9 +278,9 @@ func (as *AddressSpace) ReadPhys(va Addr, buf []byte) error {
 		n := min(sys.pageSize-pgOff, len(buf)-off)
 		pi := r.pageIndex(cur)
 		if f, _ := r.object.lookup(pi); f != nil {
-			copy(buf[off:off+n], f.Data()[pgOff:pgOff+n])
+			f.ReadAt(buf[off:off+n], pgOff)
 		} else if holder, ok := r.object.pagedOut(pi); ok {
-			copy(buf[off:off+n], holder.backing[pi][pgOff:pgOff+n])
+			holder.backing[pi].ReadAt(buf[off:off+n], pgOff)
 		} else {
 			clear(buf[off : off+n])
 		}
