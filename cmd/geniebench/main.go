@@ -13,7 +13,17 @@
 //	geniebench -nocache     # disable the measurement memo
 //	geniebench -norecycle   # disable testbed recycling
 //	geniebench -dataplane bytes  # materialize payload bytes (default: symbolic)
+//	geniebench -faults seed=1,drop=0.25,corrupt=0.1  # chaos mode (see below)
 //	geniebench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Chaos mode (-faults) runs reliable transfers across every buffering
+// scheme and semantics family under the given seeded fault script and
+// prints the recovery report: injected drops, duplicates, reorderings,
+// corruptions, allocation failures, and pool denials must all be
+// recovered (exactly-once, integrity-checked delivery) and every
+// testbed must conserve its resources. The exit status is nonzero if
+// any point violated recovery or conservation. The same spec always
+// replays the same faults.
 //
 // Measurement points fan out across -parallel worker goroutines
 // (default: GOMAXPROCS). -parallel 1 reproduces the serial path
@@ -36,6 +46,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -45,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -145,66 +157,106 @@ func (g generator) run() (result, error) {
 	return r, nil
 }
 
-func (r result) render() {
+func (r result) render(w io.Writer) {
 	if r.Figure != nil {
-		r.Figure.Render(os.Stdout)
+		r.Figure.Render(w)
 	} else if r.Table != nil {
-		r.Table.Render(os.Stdout)
+		r.Table.Render(w)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func main() {
-	figures := flag.Bool("figures", false, "regenerate the figures only")
-	tables := flag.Bool("tables", false, "regenerate the tables only")
-	ablations := flag.Bool("ablations", false, "run the ablations only")
-	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable entry point: flag validation errors print usage
+// and return 2, runtime failures return 1, success returns 0.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("geniebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	figures := fs.Bool("figures", false, "regenerate the figures only")
+	tables := fs.Bool("tables", false, "regenerate the tables only")
+	ablations := fs.Bool("ablations", false, "run the ablations only")
+	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines per sweep (1 = serial)")
-	jsonPath := flag.String("json", "",
+	jsonPath := fs.String("json", "",
 		"write every figure/table plus wall-clock per generator as JSON to this path")
-	nocache := flag.Bool("nocache", false,
+	nocache := fs.Bool("nocache", false,
 		"disable the cross-generator measurement memo (output is identical, only slower)")
-	norecycle := flag.Bool("norecycle", false,
+	norecycle := fs.Bool("norecycle", false,
 		"disable testbed recycling across measurement points")
-	dataplane := flag.String("dataplane", "symbolic",
+	dataplane := fs.String("dataplane", "symbolic",
 		"payload representation inside the simulator: symbolic or bytes (output is identical)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
-	tracePath := flag.String("trace", "",
+	faultsFlag := fs.String("faults", "",
+		"chaos mode: seeded fault spec, e.g. seed=1,drop=0.25,dup=0.1,reorder=0.1,corrupt=0.05,allocfail=0.02,pooldeny=0.1")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this path")
+	tracePath := fs.String("trace", "",
 		"capture one traced exemplar transfer per figure as Chrome trace_event JSON at this path")
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the error and usage
+	}
+	usageErr := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "geniebench: "+format+"\n", a...)
+		fs.Usage()
+		return 2
+	}
+	if *parallel < 1 {
+		return usageErr("-parallel must be at least 1, got %d", *parallel)
+	}
+	plane, err := mem.PlaneByName(*dataplane)
+	if err != nil {
+		return usageErr("-dataplane: %v", err)
+	}
+	var spec faults.Spec
+	if *faultsFlag != "" {
+		spec, err = faults.ParseSpec(*faultsFlag)
+		if err != nil {
+			return usageErr("-faults: %v", err)
+		}
+		if err := spec.Validate(); err != nil {
+			return usageErr("-faults: %v", err)
+		}
+		if !spec.Enabled() {
+			return usageErr("-faults: spec %q injects nothing (set a seed and at least one rate)", *faultsFlag)
+		}
+	}
 	all := !*figures && !*tables && !*ablations && *tracePath == ""
 
 	experiments.SetParallelism(*parallel)
 	experiments.SetCaching(!*nocache)
 	experiments.SetRecycling(!*norecycle)
-	plane, err := mem.PlaneByName(*dataplane)
-	if err != nil {
-		fail(err)
-	}
 	experiments.SetDataPlane(plane)
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "geniebench:", err)
+		return 1
+	}
+
+	if *faultsFlag != "" {
+		return runChaos(spec, stdout, stderr)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 
 	if *tracePath != "" {
-		if err := writeTrace(*tracePath); err != nil {
-			fail(err)
+		if err := writeTrace(*tracePath, stderr); err != nil {
+			return fail(err)
 		}
 	}
 
@@ -228,11 +280,11 @@ func main() {
 		}
 		r, err := g.run()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		results = append(results, r)
 		if wantSection(g.section) {
-			r.render()
+			r.render(stdout)
 		}
 	}
 
@@ -250,44 +302,56 @@ func main() {
 		}
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "geniebench: wrote %s (%d generators, %.0f ms total)\n",
+		fmt.Fprintf(stderr, "geniebench: wrote %s (%d generators, %.0f ms total)\n",
 			*jsonPath, len(results), rep.TotalWallMS)
 	}
 
 	// The performance summary goes to stderr so stdout stays
 	// byte-comparable across cache/recycle/parallelism settings.
-	fmt.Fprintf(os.Stderr,
+	fmt.Fprintf(stderr,
 		"geniebench: cache %d hits / %d misses / %d single-flight waits; testbeds %d recycled / %d built\n",
 		perf.CacheHits, perf.CacheMisses, perf.CacheWaits,
 		perf.TestbedsRecycled, perf.TestbedsBuilt)
 	if perf.ResetFailures > 0 {
-		fmt.Fprintf(os.Stderr, "geniebench: WARNING: %d testbed resets failed (state leak?)\n",
+		fmt.Fprintf(stderr, "geniebench: WARNING: %d testbed resets failed (state leak?)\n",
 			perf.ResetFailures)
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		runtime.GC() // materialize up-to-date allocation statistics
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
+	return 0
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "geniebench:", err)
-	os.Exit(1)
+// runChaos executes the fault-injection matrix and prints the recovery
+// report; any recovery or conservation violation makes the exit status
+// nonzero.
+func runChaos(spec faults.Spec, stdout, stderr io.Writer) int {
+	rep, err := experiments.RunChaos(experiments.ChaosConfig{Spec: spec})
+	if err != nil {
+		fmt.Fprintln(stderr, "geniebench:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, rep)
+	if !rep.OK() {
+		return 1
+	}
+	return 0
 }
 
 // writeTrace re-runs one representative transfer per figure with the
@@ -295,7 +359,7 @@ func fail(err error) {
 // trace_event JSON document — one process group per exemplar, so the
 // viewer shows each figure's transfer as its own track pair. The runs
 // are serial: the bundled trace sinks are not synchronized.
-func writeTrace(path string) error {
+func writeTrace(path string, stderr io.Writer) error {
 	exemplars := []struct {
 		name  string
 		setup experiments.Setup
@@ -335,7 +399,7 @@ func writeTrace(path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "geniebench: wrote %s (%d traced exemplars; load in chrome://tracing or Perfetto)\n",
+	fmt.Fprintf(stderr, "geniebench: wrote %s (%d traced exemplars; load in chrome://tracing or Perfetto)\n",
 		path, len(exemplars))
 	return nil
 }

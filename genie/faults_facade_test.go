@@ -1,0 +1,78 @@
+package genie_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/genie"
+)
+
+// TestReliableChannelThroughFacade: WithFaults arms injection, the
+// reliable channel recovers every injected fault, and the application
+// sees exactly-once delivery.
+func TestReliableChannelThroughFacade(t *testing.T) {
+	spec, err := genie.ParseFaultSpec("seed=9,drop=0.3,corrupt=0.1,dup=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := genie.New(genie.WithFaults(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := net.HostA().NewProcess()
+	b := net.HostB().NewProcess()
+	ra, rb, err := net.NewReliableChannel(a, b, 60, genie.EmulatedCopy, 4096, 4, genie.ReliableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint32]string{}
+	rb.OnDeliver(func(seq uint32, payload []byte) { got[seq] = string(payload) })
+	want := map[uint32]string{}
+	for i := 0; i < 5; i++ {
+		msg := fmt.Sprintf("reliable-%d", i)
+		seq, err := ra.Send([]byte(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seq] = msg
+	}
+	net.Run()
+	for seq, msg := range want {
+		if got[seq] != msg {
+			t.Errorf("seq %d: got %q, want %q", seq, got[seq], msg)
+		}
+	}
+	s := ra.Stats()
+	if s.GaveUp != 0 || ra.Outstanding() != 0 {
+		t.Errorf("sender did not quiesce: %+v, outstanding %d", s, ra.Outstanding())
+	}
+	if s.Retransmits == 0 {
+		t.Error("30% drop but no retransmissions through the facade")
+	}
+}
+
+// TestFaultSpecValidationThroughFacade: invalid rates are construction
+// errors, not delayed misbehavior.
+func TestFaultSpecValidationThroughFacade(t *testing.T) {
+	if _, err := genie.New(genie.WithFaults(genie.FaultSpec{Seed: 1, Drop: 1.5})); err == nil {
+		t.Fatal("out-of-range drop rate accepted")
+	}
+	if _, err := genie.ParseFaultSpec("seed=1,bogus=3"); err == nil {
+		t.Fatal("unknown fault key accepted")
+	}
+}
+
+// TestNegativeConfigErrors: misuse reachable through the public facade
+// must surface as returned errors, never as panics (the mem/vm panic
+// audit keeps panics for internal invariants only).
+func TestNegativeConfigErrors(t *testing.T) {
+	if _, err := genie.New(genie.WithMemory(-1)); err == nil {
+		t.Fatal("negative memory size accepted")
+	}
+	if _, err := genie.New(genie.WithMTU(-4096)); err == nil {
+		t.Fatal("negative MTU accepted")
+	}
+	if _, err := genie.New(genie.WithDeviceOffset(-1)); err == nil {
+		t.Fatal("negative device offset accepted")
+	}
+}

@@ -31,6 +31,7 @@ package genie
 import (
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -116,7 +117,24 @@ type (
 	// Stats counts a host's data path events (outputs, inputs,
 	// conversions, copyouts, swaps, drops).
 	Stats = core.Stats
+	// FaultSpec configures seeded deterministic fault injection
+	// (WithFaults). Rates are per-decision probabilities; the zero spec
+	// disables injection.
+	FaultSpec = faults.Spec
+	// Reliable is one end of a reliable channel: sequence numbers,
+	// checksums, acknowledgements, and sim-clock retransmission recover
+	// injected drops, duplicates, reorderings, and corruptions.
+	Reliable = core.Reliable
+	// ReliableConfig tunes the retransmit machinery (zero value:
+	// defaults).
+	ReliableConfig = core.ReliableConfig
+	// ReliableStats counts the recovery machinery's work.
+	ReliableStats = core.ReliableStats
 )
+
+// ParseFaultSpec parses the geniebench -faults syntax, e.g.
+// "seed=1,drop=0.2,corrupt=0.05".
+func ParseFaultSpec(s string) (FaultSpec, error) { return faults.ParseSpec(s) }
 
 // NoAddr is the destination address for input under the
 // system-allocated semantics (the move family), where the system — not
@@ -258,6 +276,16 @@ func WithDemandPaging() Option {
 	return func(o *options) { o.cfg.DemandPaging = true }
 }
 
+// WithFaults arms seeded deterministic fault injection on both hosts:
+// wire drops, duplicates, reorderings, payload corruption, transient
+// allocation failures, and pool admission denials, each at its spec
+// rate. The same spec always replays the same fault script. A
+// seed-only spec attaches an armed injector that never fires, leaving
+// the simulation bit-identical to an uninjected one.
+func WithFaults(s FaultSpec) Option {
+	return func(o *options) { o.cfg.Faults = s }
+}
+
 // Network is a simulated pair of hosts connected by an ATM link.
 type Network struct {
 	tb *core.Testbed
@@ -331,6 +359,13 @@ func (n *Network) Transfer(sender, receiver *Process, port int, sem Semantics, s
 // bufSize bytes).
 func (n *Network) NewChannel(a, b *Process, basePort int, sem Semantics, bufSize, window int) (*Endpoint, *Endpoint, error) {
 	return core.NewChannel(a, b, basePort, sem, bufSize, window)
+}
+
+// NewReliableChannel connects two processes with a reliable message
+// channel: payloads up to bufSize bytes are delivered exactly once with
+// verified integrity, surviving any faults injected via WithFaults.
+func (n *Network) NewReliableChannel(a, b *Process, basePort int, sem Semantics, bufSize, window int, cfg ReliableConfig) (*Reliable, *Reliable, error) {
+	return core.NewReliableChannel(a, b, basePort, sem, bufSize, window, cfg)
 }
 
 // NewRPCClient wraps a channel endpoint as an RPC client.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/sim"
 	"repro/internal/vm"
 )
 
@@ -62,6 +63,12 @@ type Endpoint struct {
 	// reposts its buffer, so the sender can never overrun the
 	// receiver's preposted window.
 	credits int
+	// noCredits disables that flow control. Reliable channels set it:
+	// under injected loss a dropped frame would strand its credit
+	// forever (credits only return via the receiver's repost), wedging
+	// the sender; the retransmit layer supplies its own windowing and
+	// recovers receiver-side overruns like any other drop.
+	noCredits bool
 
 	rxBufs    []vm.Addr // receive buffers (application-allocated)
 	completed []*Message
@@ -148,8 +155,12 @@ func (e *Endpoint) OnMessage(fn func(*Message)) { e.onMessage = fn }
 // repost returns a consumed receive buffer to the window and a send
 // credit to the peer.
 func (e *Endpoint) repost(in *InputOp) error {
-	e.peer.credits++
+	if !e.noCredits {
+		e.peer.credits++
+	}
+	va := in.va
 	if e.sem.SystemAllocated() {
+		va = 0
 		// Recycle the system-allocated region through the region cache
 		// so the next input reuses it.
 		if in.Region != nil {
@@ -158,9 +169,42 @@ func (e *Endpoint) repost(in *InputOp) error {
 				return err
 			}
 		}
-		return e.post(0)
 	}
-	return e.post(in.va)
+	if err := e.post(va); err != nil {
+		return e.deferPost(va, err, 1)
+	}
+	return nil
+}
+
+// deferPost retries a failed window repost on the simulated clock: a
+// transient injected allocation failure must not shrink the receive
+// window permanently (a smaller window means more drops means more
+// retransmits means more chances to fail — a ratchet). Without an
+// injector the error surfaces immediately, preserving fault-free
+// behavior; with one the retry is bounded so a truly wedged host still
+// fails loudly via the retransmit layer's give-up accounting.
+func (e *Endpoint) deferPost(va vm.Addr, err error, attempt int) error {
+	g := e.p.g
+	if g.nic.FaultInjector() == nil || attempt > repostAttempts {
+		return err
+	}
+	g.eng.Schedule(sim.Duration(repostRetryUS), func() {
+		if perr := e.post(va); perr != nil {
+			_ = e.deferPost(va, perr, attempt+1)
+		}
+	})
+	return nil
+}
+
+// Close cancels the endpoint's posted receive window, releasing kernel
+// buffers, page references, and cached regions. The endpoint must not
+// be used afterwards. Chaos harnesses close both endpoints before
+// asserting resource conservation.
+func (e *Endpoint) Close() {
+	g := e.p.g
+	for _, in := range append([]*InputOp(nil), g.recvQ[e.port]...) {
+		in.Cancel()
+	}
 }
 
 // Send transmits data to the peer endpoint. The data is copied into one
@@ -171,7 +215,7 @@ func (e *Endpoint) Send(data []byte) (*OutputOp, error) {
 	if len(data) > e.bufSize {
 		return nil, fmt.Errorf("%w: %d > %d", ErrMessageTooBig, len(data), e.bufSize)
 	}
-	if e.credits <= 0 {
+	if !e.noCredits && e.credits <= 0 {
 		return nil, ErrChannelFull
 	}
 	var va vm.Addr
@@ -198,7 +242,9 @@ func (e *Endpoint) Send(data []byte) (*OutputOp, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.credits--
+	if !e.noCredits {
+		e.credits--
+	}
 	return out, nil
 }
 

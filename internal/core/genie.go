@@ -73,6 +73,7 @@ type Stats struct {
 	RegionsAllocated uint64 // region cache misses
 	RegionsRemapped  uint64 // cached regions found removed at dispose
 	Dropped          uint64 // packets with no matching input operation
+	RPCOrphans       uint64 // RPC responses discarded as uncorrelatable
 }
 
 // Genie is the I/O framework instance of one host.
@@ -164,6 +165,10 @@ func (g *Genie) Stats() Stats { return g.stats }
 
 // Instr exposes the per-operation instrumentation.
 func (g *Genie) Instr() *Instrumentation { return &g.instr }
+
+// KernelPool returns the kernel system-buffer pool. Harnesses check its
+// free count against its total to assert no kernel buffers leaked.
+func (g *Genie) KernelPool() *netsim.OverlayPool { return g.kpool }
 
 // SetTracer installs a structured-event tracer on the data path (nil
 // disables tracing; the disabled path costs one branch and allocates
@@ -351,12 +356,45 @@ func (g *Genie) unwireFrames(ref *vm.IORef) {
 // fresh frame instead.
 func (g *Genie) recycleFrame(pool *netsim.OverlayPool, f *mem.Frame) error {
 	if f == nil {
-		return pool.Refill(1)
+		return g.refill(pool, 1)
 	}
 	if f.Referenced() {
 		g.sys.Phys().Release(f)
-		return pool.Refill(1)
+		return g.refill(pool, 1)
 	}
 	pool.Put(f)
 	return nil
+}
+
+// Pool-refill retry bounds under injected allocation faults.
+const (
+	refillAttempts    = 64
+	refillRetryUS     = 8.0
+	repostAttempts    = 64
+	repostRetryUS     = 8.0
+	ackRetryUS        = 8.0
+	sendAckRetryLimit = 64
+)
+
+// refill replaces consumed pool pages. A transient allocation failure
+// under fault injection is absorbed by retrying on the simulated clock
+// instead of surfacing — a permanently short pool would violate the
+// conservation invariants chaos runs assert. Without an injector the
+// error propagates unchanged (fault-free refills never fail in
+// correctly sized testbeds).
+func (g *Genie) refill(pool *netsim.OverlayPool, n int) error {
+	err := pool.Refill(n)
+	if err == nil || g.nic.FaultInjector() == nil {
+		return err
+	}
+	g.deferRefill(pool, n, 1)
+	return nil
+}
+
+func (g *Genie) deferRefill(pool *netsim.OverlayPool, n, attempt int) {
+	g.eng.Schedule(sim.Duration(refillRetryUS), func() {
+		if err := pool.Refill(n); err != nil && attempt < refillAttempts {
+			g.deferRefill(pool, n, attempt+1)
+		}
+	})
 }

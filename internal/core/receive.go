@@ -109,6 +109,7 @@ func (g *Genie) disposeEarlyDemux(in *InputOp) (sim.Duration, error) {
 			return lat, verr
 		}
 		if err := p.as.PokeBuf(in.va, in.kbuf.readBuf(n)); err != nil {
+			in.kbuf.free()
 			return 0, err
 		}
 		in.Addr = in.va
@@ -138,10 +139,10 @@ func (g *Genie) disposeEarlyDemux(in *InputOp) (sim.Duration, error) {
 			}
 		}
 		ch, err := g.emcopyDispose(in, in.kbuf.frames, in.kbuf.off, g.kpool)
+		in.kbuf.frames = nil // ownership transferred by emcopyDispose, even on error
 		if err != nil {
 			return 0, err
 		}
-		in.kbuf.frames = nil // ownership transferred by emcopyDispose
 		in.Addr = in.va
 		lat := g.chargeSet(StageDispose, in.octx(), append(verifyCh, ch...), &in.ReceiverCPU)
 		g.chargeSet(StageDispose, in.octx(), []charge{{cost.BufDeallocate, n}}, &in.ReceiverCPU)
@@ -229,6 +230,7 @@ func (g *Genie) disposePooled(in *InputOp, pkt netsim.Packet) (sim.Duration, err
 	case Copy:
 		data := mem.GatherFrames(pkt.Overlay, pkt.OverlayOff, n)
 		if err := p.as.PokeBuf(in.va, data); err != nil {
+			pool.Put(pkt.Overlay...)
 			return 0, err
 		}
 		pool.Put(pkt.Overlay...)
@@ -274,6 +276,7 @@ func (g *Genie) disposePooled(in *InputOp, pkt netsim.Packet) (sim.Duration, err
 	case EmulatedMove, WeakMove, EmulatedWeakMove:
 		r, err := g.checkRegion(p, in.region, in.ref, in.Want)
 		if err != nil {
+			pool.Put(pkt.Overlay...)
 			return 0, err
 		}
 		var ch []charge
@@ -289,6 +292,7 @@ func (g *Genie) disposePooled(in *InputOp, pkt netsim.Packet) (sim.Duration, err
 		for i, f := range pkt.Overlay {
 			old, err := p.as.KernelSwapPage(r.Start()+vm.Addr(i)*ps, f)
 			if err != nil {
+				pool.Put(pkt.Overlay[i:]...)
 				return 0, err
 			}
 			if err := g.recycleFrame(pool, old); err != nil {
@@ -335,6 +339,7 @@ func (g *Genie) disposeOutboard(in *InputOp, pkt netsim.Packet) (sim.Duration, e
 		}
 		ob.DMAToHost(kbuf)
 		if err := p.as.PokeBuf(in.va, kbuf.readBuf(n)); err != nil {
+			kbuf.free()
 			return 0, err
 		}
 		kbuf.free()
@@ -431,6 +436,7 @@ func (g *Genie) emcopyDispose(in *InputOp, frames []*mem.Frame, frameOff int, po
 		g.stats.FullCopyouts++
 		data := mem.GatherFrames(frames, frameOff, n)
 		if err := p.as.PokeBuf(va, data); err != nil {
+			pool.Put(frames...)
 			return nil, err
 		}
 		pool.Put(frames...)
@@ -440,6 +446,21 @@ func (g *Genie) emcopyDispose(in *InputOp, frames []*mem.Frame, frameOff int, po
 	g.stats.AlignedInputs++
 	var swapped, copied, reversed int
 	consumed := make([]bool, len(frames))
+	// fail returns unconsumed frames to the pool before surfacing a
+	// mid-loop error, so a transiently failing copyout (injected
+	// allocation faults) cannot leak overlay or kernel pool pages.
+	fail := func(err error) ([]charge, error) {
+		var left []*mem.Frame
+		for fi, f := range frames {
+			if !consumed[fi] {
+				left = append(left, f)
+			}
+		}
+		if len(left) > 0 {
+			pool.Put(left...)
+		}
+		return nil, err
+	}
 	pageVA := vm.Addr(ps) * (va / vm.Addr(ps)) // first overlapping page
 	for fi := 0; pageVA < va+vm.Addr(n); fi, pageVA = fi+1, pageVA+vm.Addr(ps) {
 		dataStart := max64(va, pageVA)
@@ -450,11 +471,11 @@ func (g *Genie) emcopyDispose(in *InputOp, frames []*mem.Frame, frameOff int, po
 		case d == ps:
 			old, err := p.as.KernelSwapPage(pageVA, f)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			consumed[fi] = true
 			if err := g.recycleFrame(pool, old); err != nil {
-				return nil, err
+				return fail(err)
 			}
 			swapped += ps
 			g.stats.SwappedPages++
@@ -467,24 +488,24 @@ func (g *Genie) emcopyDispose(in *InputOp, frames []*mem.Frame, frameOff int, po
 			if head > 0 {
 				buf, err := p.as.PeekBuf(pageVA, head)
 				if err != nil {
-					return nil, err
+					return fail(err)
 				}
 				f.WriteBuf(0, buf)
 			}
 			if tail > 0 {
 				buf, err := p.as.PeekBuf(dataEnd, tail)
 				if err != nil {
-					return nil, err
+					return fail(err)
 				}
 				f.WriteBuf(ps-tail, buf)
 			}
 			old, err := p.as.KernelSwapPage(pageVA, f)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			consumed[fi] = true
 			if err := g.recycleFrame(pool, old); err != nil {
-				return nil, err
+				return fail(err)
 			}
 			swapped += ps
 			reversed += head + tail
@@ -495,7 +516,7 @@ func (g *Genie) emcopyDispose(in *InputOp, frames []*mem.Frame, frameOff int, po
 			// Short fill: plain copyout (item 1 of Figure 2).
 			fo := int(dataStart - pageVA)
 			if err := p.as.PokeBuf(dataStart, f.ReadBuf(fo, d)); err != nil {
-				return nil, err
+				return fail(err)
 			}
 			copied += d
 			g.stats.PartialCopyouts++
@@ -554,7 +575,7 @@ func (g *Genie) buildRegionFromKernelBuffer(in *InputOp, kbuf *kernelBuffer, n i
 	if err != nil {
 		return nil, err
 	}
-	if err := g.kpool.Refill(k); err != nil {
+	if err := g.refill(g.kpool, k); err != nil {
 		return nil, err
 	}
 	in.Region, in.Addr = r, r.Start()
@@ -592,7 +613,7 @@ func (g *Genie) buildRegionFromOverlay(in *InputOp, pkt netsim.Packet, pool *net
 	if err != nil {
 		return nil, err
 	}
-	if err := pool.Refill(len(frames)); err != nil {
+	if err := g.refill(pool, len(frames)); err != nil {
 		return nil, err
 	}
 	in.Region, in.Addr = r, r.Start()+vm.Addr(off)

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+func reliablePair(t *testing.T, spec faults.Spec, sem Semantics, cfg ReliableConfig) (*Testbed, *Reliable, *Reliable) {
+	t.Helper()
+	tb, err := NewTestbed(TestbedConfig{
+		Buffering:     netsim.EarlyDemux,
+		FramesPerHost: 1024,
+		Faults:        spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tb.A.Genie.NewProcess()
+	b := tb.B.Genie.NewProcess()
+	ra, rb, err := NewReliableChannel(a, b, 80, sem, 4096, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, ra, rb
+}
+
+// deliveries records what a reliable endpoint handed up: per-sequence
+// counts (to catch double delivery) and payloads (to catch corruption
+// leaking through).
+type deliveries struct {
+	counts   map[uint32]int
+	payloads map[uint32][]byte
+}
+
+func collect(r *Reliable) *deliveries {
+	d := &deliveries{counts: make(map[uint32]int), payloads: make(map[uint32][]byte)}
+	r.OnDeliver(func(seq uint32, payload []byte) {
+		d.counts[seq]++
+		d.payloads[seq] = payload
+	})
+	return d
+}
+
+// checkExactlyOnce asserts the n sent payloads each arrived exactly
+// once with intact bytes.
+func checkExactlyOnce(t *testing.T, d *deliveries, sent map[uint32][]byte) {
+	t.Helper()
+	if len(d.counts) != len(sent) {
+		t.Fatalf("delivered %d distinct messages, sent %d", len(d.counts), len(sent))
+	}
+	for seq, want := range sent {
+		if n := d.counts[seq]; n != 1 {
+			t.Errorf("seq %d delivered %d times", seq, n)
+		}
+		if got := d.payloads[seq]; !bytes.Equal(got, want) {
+			t.Errorf("seq %d payload corrupted: got %d bytes %x..., want %d bytes", seq, len(got), got[:min(8, len(got))], len(want))
+		}
+	}
+}
+
+func sendAll(t *testing.T, r *Reliable, n int) map[uint32][]byte {
+	t.Helper()
+	sent := make(map[uint32][]byte)
+	for i := 0; i < n; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 256+i)
+		seq, err := r.Send(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent[seq] = payload
+	}
+	return sent
+}
+
+func TestReliableNoFaultDelivery(t *testing.T) {
+	for _, sem := range []Semantics{Copy, EmulatedCopy, EmulatedShare, EmulatedWeakMove} {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			tb, ra, rb := reliablePair(t, faults.Spec{}, sem, ReliableConfig{})
+			d := collect(rb)
+			sent := sendAll(t, ra, 4)
+			tb.Run()
+			checkExactlyOnce(t, d, sent)
+			s := ra.Stats()
+			if s.Retransmits != 0 || s.GaveUp != 0 {
+				t.Errorf("fault-free run retransmitted: %+v", s)
+			}
+			if s.Acked != 4 || ra.Outstanding() != 0 {
+				t.Errorf("acked %d, outstanding %d", s.Acked, ra.Outstanding())
+			}
+		})
+	}
+}
+
+func TestReliableDropRecovery(t *testing.T) {
+	tb, ra, rb := reliablePair(t, faults.Spec{Seed: 3, Drop: 0.3}, EmulatedCopy, ReliableConfig{})
+	d := collect(rb)
+	sent := sendAll(t, ra, 8)
+	tb.Run()
+	checkExactlyOnce(t, d, sent)
+	s := ra.Stats()
+	if s.Retransmits == 0 {
+		t.Error("30% drop rate but no retransmissions — recovery untested")
+	}
+	if s.GaveUp != 0 || ra.Outstanding() != 0 {
+		t.Errorf("gave up %d, outstanding %d: %+v", s.GaveUp, ra.Outstanding(), s)
+	}
+	if fired := tb.Injector().Stats(); fired.Drops == 0 {
+		t.Error("injector never fired")
+	}
+}
+
+func TestReliableDuplicateSuppression(t *testing.T) {
+	tb, ra, rb := reliablePair(t, faults.Spec{Seed: 5, Duplicate: 0.9}, EmulatedCopy, ReliableConfig{})
+	d := collect(rb)
+	sent := sendAll(t, ra, 5)
+	tb.Run()
+	checkExactlyOnce(t, d, sent)
+	if rb.Stats().Duplicates == 0 {
+		t.Error("90% duplication but receiver suppressed none")
+	}
+	if s := ra.Stats(); s.GaveUp != 0 || ra.Outstanding() != 0 {
+		t.Errorf("sender did not quiesce: %+v", s)
+	}
+}
+
+func TestReliableCorruptionRecovery(t *testing.T) {
+	tb, ra, rb := reliablePair(t, faults.Spec{Seed: 7, Corrupt: 0.4}, EmulatedCopy, ReliableConfig{})
+	d := collect(rb)
+	sent := sendAll(t, ra, 6)
+	tb.Run()
+	checkExactlyOnce(t, d, sent)
+	if rb.Stats().CorruptDropped+ra.Stats().CorruptDropped == 0 {
+		t.Error("40% corruption but no frame failed its checksum")
+	}
+	if s := ra.Stats(); s.Retransmits == 0 {
+		t.Error("corruption recovery requires retransmission, saw none")
+	}
+}
+
+func TestReliableReorderTolerance(t *testing.T) {
+	tb, ra, rb := reliablePair(t, faults.Spec{Seed: 11, Reorder: 0.5, Drop: 0.1}, EmulatedCopy, ReliableConfig{})
+	d := collect(rb)
+	sent := sendAll(t, ra, 8)
+	tb.Run()
+	checkExactlyOnce(t, d, sent)
+	if s := ra.Stats(); s.GaveUp != 0 || ra.Outstanding() != 0 {
+		t.Errorf("sender did not quiesce under reordering: %+v", s)
+	}
+}
+
+func TestReliableGivesUpAtAttemptLimit(t *testing.T) {
+	tb, ra, rb := reliablePair(t, faults.Spec{Seed: 13, Drop: 0.9}, EmulatedCopy,
+		ReliableConfig{MaxAttempts: 2})
+	collect(rb)
+	sendAll(t, ra, 6)
+	tb.Run()
+	s := ra.Stats()
+	if s.GaveUp == 0 {
+		t.Fatalf("90%% drop with 2 attempts never gave up: %+v", s)
+	}
+	if ra.Outstanding() != 0 {
+		t.Errorf("%d frames still pending after give-up", ra.Outstanding())
+	}
+}
+
+func TestReliableDeterministicReplay(t *testing.T) {
+	run := func() (ReliableStats, ReliableStats) {
+		tb, ra, rb := reliablePair(t, faults.Spec{Seed: 17, Drop: 0.25, Corrupt: 0.15, Duplicate: 0.2}, EmulatedCopy, ReliableConfig{})
+		d := collect(rb)
+		sent := sendAll(t, ra, 6)
+		tb.Run()
+		checkExactlyOnce(t, d, sent)
+		return ra.Stats(), rb.Stats()
+	}
+	sa1, sb1 := run()
+	sa2, sb2 := run()
+	if sa1 != sa2 || sb1 != sb2 {
+		t.Errorf("same seed diverged:\n a: %+v vs %+v\n b: %+v vs %+v", sa1, sa2, sb1, sb2)
+	}
+}
+
+func TestReliableRPCUnderFaults(t *testing.T) {
+	tb, ra, rb := reliablePair(t, faults.Spec{Seed: 19, Drop: 0.3, Corrupt: 0.2}, EmulatedCopy, ReliableConfig{})
+	ServeReliableRPC(rb, func(req []byte) []byte {
+		return append([]byte("echo:"), req...)
+	}, func(err error) { t.Errorf("server: %v", err) })
+	client := NewReliableRPCClient(ra)
+	var calls []*Call
+	for i := 0; i < 3; i++ {
+		call, err := client.Go([]byte(fmt.Sprintf("req-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, call)
+	}
+	tb.Run()
+	for i, call := range calls {
+		if !call.Done {
+			t.Fatalf("call %d lost despite reliable transport", i)
+		}
+		if want := fmt.Sprintf("echo:req-%d", i); string(call.Reply) != want {
+			t.Fatalf("call %d reply %q, want %q", i, call.Reply, want)
+		}
+	}
+	if client.Outstanding() != 0 || client.Orphans() != 0 {
+		t.Errorf("outstanding %d, orphans %d", client.Outstanding(), client.Orphans())
+	}
+}
+
+// nameCountSink tallies trace events by name.
+type nameCountSink struct{ counts map[string]int }
+
+func (s *nameCountSink) Emit(ev trace.Event) { s.counts[ev.Name]++ }
+
+// TestRPCOrphanAccounting is the regression test for the silently
+// discarded uncorrelatable RPC responses: both orphan shapes (frame too
+// short for the header, unknown correlation id) must count in
+// Stats.RPCOrphans and emit rpc.orphan instants.
+func TestRPCOrphanAccounting(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Buffering: netsim.EarlyDemux, FramesPerHost: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &nameCountSink{counts: make(map[string]int)}
+	tb.SetTracer(trace.New(sink))
+	clientProc := tb.A.Genie.NewProcess()
+	serverProc := tb.B.Genie.NewProcess()
+	// EmulatedCopy is application-allocated, so wire lengths are exact
+	// and a 3-byte frame arrives as 3 bytes, not padded past the header.
+	ec, es, err := NewChannel(clientProc, serverProc, 90, EmulatedCopy, 4096, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewRPCClient(ec)
+	if _, err := es.Send([]byte{1, 2, 3}); err != nil { // too short to correlate
+		t.Fatal(err)
+	}
+	if _, err := es.Send([]byte{0, 0, 0, 42, 0, 0, 0, 0}); err != nil { // unknown id 42
+		t.Fatal(err)
+	}
+	tb.Run()
+	if got := tb.A.Genie.Stats().RPCOrphans; got != 2 {
+		t.Errorf("RPCOrphans = %d, want 2", got)
+	}
+	if got := sink.counts["rpc.orphan"]; got != 2 {
+		t.Errorf("rpc.orphan instants = %d, want 2", got)
+	}
+	if client.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", client.Outstanding())
+	}
+}

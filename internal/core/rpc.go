@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // RPC over a message channel: requests carry a 4-byte correlation id, a
@@ -45,13 +47,15 @@ func NewRPCClient(ep *Endpoint) *RPCClient {
 		defer func() { _ = m.Release() }()
 		data := m.Data()
 		if len(data) < rpcHeaderLen {
-			return // not correlatable; drop
+			c.orphan(len(data)) // not correlatable
+			return
 		}
 		id := binary.BigEndian.Uint32(data)
 		n := int(binary.BigEndian.Uint32(data[4:]))
 		call, ok := c.pending[id]
 		if !ok {
-			return // stale or duplicate response
+			c.orphan(len(data)) // stale or duplicate response
+			return
 		}
 		if n > len(data)-rpcHeaderLen {
 			n = len(data) - rpcHeaderLen
@@ -79,6 +83,19 @@ func (c *RPCClient) Go(req []byte) (*Call, error) {
 	}
 	c.pending[id] = call
 	return call, nil
+}
+
+// orphan accounts a response that cannot be correlated to an
+// outstanding call — a frame too short to carry the header, or an id
+// that is stale or already answered. These used to vanish silently,
+// hiding protocol bugs; now they count in Stats.RPCOrphans and emit an
+// rpc.orphan instant when tracing is attached.
+func (c *RPCClient) orphan(bytes int) {
+	g := c.ep.p.g
+	g.stats.RPCOrphans++
+	if g.tr != nil {
+		g.tr.Instant(trace.CatOp, "rpc.orphan", bytes)
+	}
 }
 
 // Outstanding reports calls awaiting responses.

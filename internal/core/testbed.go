@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -55,6 +56,12 @@ type TestbedConfig struct {
 	Plane mem.DataPlane
 	// Genie holds framework tunables; zero value takes the defaults.
 	Genie Config
+	// Faults configures seeded deterministic fault injection on both
+	// hosts (wire drop/duplicate/reorder/corrupt, transient allocation
+	// failures, pool admission denials). The zero spec disables
+	// injection entirely; a seed-only spec attaches an armed injector
+	// that never fires, leaving the simulation bit-identical.
+	Faults faults.Spec
 }
 
 // Testbed is a two-host experimental setup on one simulation engine.
@@ -64,11 +71,20 @@ type Testbed struct {
 	A, B  *Host
 	Link  *netsim.Link
 
-	cfg TestbedConfig // normalized configuration, kept for Reset
+	cfg TestbedConfig    // normalized configuration, kept for Reset
+	inj *faults.Injector // shared by both hosts; nil when faults are off
 }
 
 // NewTestbed builds the two-machine setup.
 func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.FramesPerHost < 0 || cfg.PoolPages < 0 || cfg.OutboardKB < 0 ||
+		cfg.MTU < 0 || cfg.OverlayOff < 0 {
+		return nil, fmt.Errorf("core: negative testbed size (frames %d, pool %d, outboard %d KB, mtu %d, overlay off %d)",
+			cfg.FramesPerHost, cfg.PoolPages, cfg.OutboardKB, cfg.MTU, cfg.OverlayOff)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("core: testbed faults: %w", err)
+	}
 	if cfg.Model == nil {
 		cfg.Model = cost.Baseline()
 	}
@@ -132,8 +148,32 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	}
 	base := cfg.Model.Base()
 	tb.Link = netsim.NewLink(eng, base.PerByte, base.Fixed, tb.A.NIC, tb.B.NIC)
+	if tb.inj, err = faults.New(cfg.Faults); err != nil {
+		return nil, err
+	}
+	// Attach only after both hosts are fully built: pool and kernel-pool
+	// construction must never see injected allocation failures.
+	tb.applyFaults()
 	return tb, nil
 }
+
+// applyFaults wires the shared injector into both hosts' adapters and
+// allocators. The injector is shared (and the engine single-threaded),
+// so the fault script is one deterministic stream across the testbed.
+func (tb *Testbed) applyFaults() {
+	if tb.inj == nil {
+		return
+	}
+	for _, h := range []*Host{tb.A, tb.B} {
+		h.NIC.SetFaultInjector(tb.inj)
+		h.Phys.SetAllocFault(tb.inj.FailAlloc)
+	}
+}
+
+// Injector returns the testbed's fault injector, nil when the config
+// has fault injection off. Harnesses use it to disarm injection around
+// setup/teardown and to read fired-fault counters.
+func (tb *Testbed) Injector() *faults.Injector { return tb.inj }
 
 // Run drains the simulation.
 func (tb *Testbed) Run() sim.Time { return tb.Eng.Run() }
@@ -184,6 +224,12 @@ func (tb *Testbed) Reset() error {
 			return fmt.Errorf("core: reset testbed %s: %w", h.Name, err)
 		}
 	}
+	// Re-arm fault injection last: component resets (pool Reacquire,
+	// kernel pool rebuild) must never see injected failures, and the
+	// rewound PRNG makes a recycled testbed replay the identical fault
+	// script a fresh one would.
+	tb.inj.Reset()
+	tb.applyFaults()
 	return nil
 }
 

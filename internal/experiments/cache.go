@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 )
 
@@ -27,6 +28,7 @@ type cacheKey struct {
 	genie      core.Config
 	instrument bool
 	plane      string // data-plane name; planes cannot change results, but share no testbeds
+	faults     faults.Spec
 	sem        core.Semantics
 	length     int
 }
@@ -45,6 +47,7 @@ func measureKey(s Setup, sem core.Semantics, length int) cacheKey {
 		genie:      genie,
 		instrument: s.Instrument,
 		plane:      s.plane().Name(),
+		faults:     s.Faults,
 		sem:        sem,
 		length:     length,
 	}

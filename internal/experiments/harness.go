@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -47,6 +48,13 @@ type Setup struct {
 	// testbeds; nil takes the package default (symbolic — see
 	// SetDataPlane). Measurements are byte-identical on either plane.
 	Plane mem.DataPlane
+	// Faults configures seeded deterministic fault injection on the
+	// point's testbeds. The zero spec disables injection; a seed-only
+	// spec arms an injector that never fires, so results must match the
+	// fault-free figures byte for byte. Faulted points memoize and
+	// recycle separately from fault-free ones (the spec is part of both
+	// the cache key and the testbed configuration).
+	Faults faults.Spec
 }
 
 // model resolves the setup's cost model. Models are immutable after

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -87,7 +88,7 @@ func TestFullSetByteIdenticalAcrossRegimes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("five full evaluation runs in -short mode")
 	}
-	var coldSerial, cachedSerial, cachedParallel, traced, bytesPlane string
+	var coldSerial, cachedSerial, cachedParallel, traced, bytesPlane, armedFaults string
 	sink := &discardCount{}
 	withPerfRegime(t, false, false, 1, func() { coldSerial = renderFullSet(t) })
 	withPerfRegime(t, true, true, 1, func() { cachedSerial = renderFullSet(t) })
@@ -104,6 +105,13 @@ func TestFullSetByteIdenticalAcrossRegimes(t *testing.T) {
 	withPerfRegime(t, true, true, 8, func() {
 		bytesPlane = renderFullSetWith(t, Setup{Plane: mem.Bytes})
 	})
+	// A seed-only fault spec arms the injector without ever firing it: a
+	// full run with injection attached but silent must render the seed
+	// figures byte for byte (zero-rate decisions draw no randomness and
+	// the recovery machinery stays dormant without fired faults).
+	withPerfRegime(t, true, true, 8, func() {
+		armedFaults = renderFullSetWith(t, Setup{Faults: faults.Spec{Seed: 1}})
+	})
 	if cachedSerial != coldSerial {
 		t.Errorf("cached serial output differs from cold serial output")
 	}
@@ -115,6 +123,9 @@ func TestFullSetByteIdenticalAcrossRegimes(t *testing.T) {
 	}
 	if bytesPlane != coldSerial {
 		t.Errorf("bytes-plane output differs from symbolic-plane output")
+	}
+	if armedFaults != coldSerial {
+		t.Errorf("armed-but-silent fault injector perturbed the output")
 	}
 	if sink.n == 0 {
 		t.Error("traced full set emitted no events")
@@ -203,6 +214,9 @@ func TestCacheDistinguishesSetups(t *testing.T) {
 		// The planes produce identical measurements but run on different
 		// testbeds; sharing entries would mask a plane-identity bug.
 		{Scheme: netsim.EarlyDemux, Plane: mem.Bytes},
+		// A seed-only armed injector measures identically to the fault-
+		// free default, but its testbeds carry an injector: no sharing.
+		{Scheme: netsim.EarlyDemux, Faults: faults.Spec{Seed: 7}},
 	}
 	if _, err := c.Measure(base, core.Copy, 4096); err != nil {
 		t.Fatal(err)

@@ -50,6 +50,7 @@ func measureTestbedConfig(s Setup) core.TestbedConfig {
 		OverlayOff: s.DevOff,
 		Genie:      s.Genie,
 		Plane:      s.plane(),
+		Faults:     s.Faults,
 	}
 }
 

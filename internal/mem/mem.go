@@ -204,9 +204,10 @@ type PhysMem struct {
 	pageSize  int
 	plane     DataPlane
 	frames    []Frame
-	freeList  []FrameID // LIFO
-	reclaimer func(need int) int
-	stats     Stats
+	freeList   []FrameID // LIFO
+	reclaimer  func(need int) int
+	allocFault func() bool
+	stats      Stats
 }
 
 // New creates a physical memory of numFrames frames of pageSize bytes
@@ -264,6 +265,7 @@ func (pm *PhysMem) resetFreeList() {
 // touching the allocator slow path again.
 func (pm *PhysMem) Reset() {
 	pm.reclaimer = nil
+	pm.allocFault = nil
 	pm.stats = Stats{}
 	for i := range pm.frames {
 		f := &pm.frames[i]
@@ -309,11 +311,22 @@ func (pm *PhysMem) Frame(id FrameID) *Frame {
 // it reclaimed.
 func (pm *PhysMem) SetReclaimer(fn func(need int) int) { pm.reclaimer = fn }
 
+// SetAllocFault installs a fault-injection hook consulted before every
+// allocation; when it returns true the allocation fails transiently
+// with ErrOutOfMemory (counted in FailedAllocs) as if memory pressure
+// spiked. A nil hook (the default, restored by Reset) disables
+// injection.
+func (pm *PhysMem) SetAllocFault(fn func() bool) { pm.allocFault = fn }
+
 // alloc removes a frame from the free list and attaches it, lazily
 // materializing its backing store on first attach. It preserves the
 // frame's pristine flag so AllocZeroed can skip redundant clears; the
 // exported wrappers consume the flag before handing the frame out.
 func (pm *PhysMem) alloc() (*Frame, error) {
+	if pm.allocFault != nil && pm.allocFault() {
+		pm.stats.FailedAllocs++
+		return nil, ErrOutOfMemory
+	}
 	if len(pm.freeList) == 0 && pm.reclaimer != nil {
 		pm.stats.ReclaimRuns++
 		fn := pm.reclaimer

@@ -99,7 +99,15 @@ func (n *NIC) TransmitDatagramBuf(port int, payload mem.Buf, onSent func()) erro
 				n.eng.ScheduleAt(start, onSent)
 			}
 		}
-		n.eng.ScheduleAt(deliver, func() { peer.receiveFragment(frag) })
+		data, fragDeliver, survives, dup := n.injectWire(port, frag.data, deliver)
+		frag.data = data
+		if survives {
+			n.eng.ScheduleAt(fragDeliver, func() { peer.receiveFragment(frag) })
+			if dup {
+				n.eng.ScheduleAt(fragDeliver.Add(sim.Duration(n.link.fixedUS)),
+					func() { peer.receiveFragment(frag) })
+			}
+		}
 		off = end
 	}
 	n.busyUntil = start
@@ -114,6 +122,13 @@ func (n *NIC) receiveFragment(f fragment) {
 			Name: "net.rx.frag", Port: f.port, Bytes: f.data.Len()})
 	}
 	r := n.reasm[f.port]
+	if r != nil && f.off == 0 {
+		// A fresh datagram head while a reassembly is pending means the
+		// previous datagram's tail was lost on the wire: flush the stale
+		// reassembly so a retransmission cannot wedge behind it.
+		n.flushReassembly(f.port, r)
+		r = nil
+	}
 	if r == nil {
 		r = &reassembly{}
 		n.reasm[f.port] = r
@@ -196,5 +211,29 @@ func (n *NIC) receiveFragment(f fragment) {
 	case r.outboard != nil:
 		pkt.Outboard = r.outboard
 	}
+	n.stats.Delivered++
 	n.rx(pkt)
+}
+
+// flushReassembly drops a partial reassembly and returns its staging
+// resources to their pools.
+func (n *NIC) flushReassembly(port int, r *reassembly) {
+	delete(n.reasm, port)
+	n.stats.Dropped++
+	n.dropEvent(port, r.received)
+	if r.overlay != nil {
+		n.pool.Put(r.overlay...)
+	}
+	if r.outboard != nil {
+		r.outboard.Free()
+	}
+}
+
+// FlushReassemblies drops every pending partial reassembly, returning
+// staged resources. Chaos harnesses call it at teardown so a datagram
+// whose tail was still in flight cannot fail pool-conservation checks.
+func (n *NIC) FlushReassemblies() {
+	for port, r := range n.reasm {
+		n.flushReassembly(port, r)
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -95,12 +96,21 @@ type Packet struct {
 	Outboard *OutboardBuffer
 }
 
-// Stats counts NIC events.
+// Stats counts NIC events. At quiescence the receive side balances:
+// RxFrames == Delivered + Dropped, and across an idle unidirectional
+// link sender.TxFrames - sender.WireDrops + sender.WireDups ==
+// receiver.RxFrames (single-frame mode; fragmentation counts datagrams,
+// not fragments, in TxFrames/RxFrames).
 type Stats struct {
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
+	Delivered          uint64 // frames handed to the protocol stack
 	Dropped            uint64 // frames with no preposted buffer and no fallback
 	PoolFailures       uint64
+	Retried            uint64 // deliveries deferred by pool backpressure
+
+	// Injected wire faults, counted on the transmitting NIC.
+	WireDrops, WireDups, WireReorders, WireCorrupts uint64
 }
 
 // postedInput is one entry of a per-port early-demultiplexing buffer list.
@@ -127,6 +137,7 @@ type NIC struct {
 
 	busyUntil sim.Time // transmit-side serialization
 	corruptAt int      // fault injection: flip this payload byte next tx
+	inj       *faults.Injector
 	stats     Stats
 	tr        *trace.Tracer
 }
@@ -199,8 +210,21 @@ func (n *NIC) Reset() error {
 		n.outboard.Reset()
 	}
 	n.SetTracer(nil)
+	n.inj = nil
 	return nil
 }
+
+// SetFaultInjector attaches deterministic fault injection to the
+// adapter's transmit and receive paths (nil detaches). Reset detaches;
+// the testbed re-attaches its injector after component resets so that
+// Reacquire and reconstruction never see injected faults.
+func (n *NIC) SetFaultInjector(inj *faults.Injector) { n.inj = inj }
+
+// FaultInjector returns the attached injector, nil when fault
+// injection is off. Recovery layers gate transient-failure retries on
+// its presence: without an injector the historical fail-fast semantics
+// are untouched.
+func (n *NIC) FaultInjector() *faults.Injector { return n.inj }
 
 // SetTracer installs a structured-event tracer on the adapter (nil
 // disables). The overlay pool and outboard staging memory share it.
@@ -232,6 +256,11 @@ func (n *NIC) PreferredOffset() int { return n.overlayOff }
 // early-demultiplexing fallback pool is configured). The host protocol
 // stack returns or refills overlay pages through it at dispose time.
 func (n *NIC) Pool() *OverlayPool { return n.pool }
+
+// Outboard returns the NIC's adapter staging memory (nil unless
+// outboard buffering is configured). Chaos harnesses read its free
+// count for post-run conservation checks.
+func (n *NIC) Outboard() *OutboardMemory { return n.outboard }
 
 // Stats returns a snapshot of the NIC counters.
 func (n *NIC) Stats() Stats { return n.stats }
@@ -272,12 +301,56 @@ func (n *NIC) applyFault(payload mem.Buf) mem.Buf {
 	if n.corruptAt < 0 || n.corruptAt >= payload.Len() {
 		return payload
 	}
+	off := n.corruptAt
+	n.corruptAt = -1
+	return corruptBuf(payload, off)
+}
+
+// corruptBuf returns payload with byte off bit-flipped.
+func corruptBuf(payload mem.Buf, off int) mem.Buf {
 	mangled := make([]byte, payload.Len())
 	payload.ReadAt(mangled, 0)
-	mangled[n.corruptAt] ^= 0x55
-	n.corruptAt = -1
+	mangled[off] ^= 0x55
 	return mem.BufBytes(mangled)
 }
+
+// injectWire applies the injector's per-frame wire faults at delivery
+// scheduling time. It returns the possibly corrupted payload, the
+// possibly delayed delivery time, whether the frame survives at all,
+// and whether a duplicate delivery should be scheduled. Decision order
+// (corrupt, drop, reorder, duplicate) is part of the deterministic
+// replay contract.
+func (n *NIC) injectWire(port int, payload mem.Buf, deliver sim.Time) (mem.Buf, sim.Time, bool, bool) {
+	if n.inj == nil {
+		return payload, deliver, true, false
+	}
+	if off, ok := n.inj.CorruptFrame(payload.Len()); ok {
+		n.stats.WireCorrupts++
+		n.faultEvent("fault.corrupt", port, payload.Len())
+		payload = corruptBuf(payload, off)
+	}
+	if n.inj.DropFrame() {
+		n.stats.WireDrops++
+		n.faultEvent("fault.drop", port, payload.Len())
+		return payload, deliver, false, false
+	}
+	if n.inj.ReorderFrame() {
+		n.stats.WireReorders++
+		n.faultEvent("fault.reorder", port, payload.Len())
+		deliver = deliver.Add(sim.Duration(reorderDelayFactor * n.link.fixedUS))
+	}
+	dup := n.inj.DuplicateFrame()
+	if dup {
+		n.stats.WireDups++
+		n.faultEvent("fault.dup", port, payload.Len())
+	}
+	return payload, deliver, true, dup
+}
+
+// reorderDelayFactor scales the link's fixed latency into the extra
+// delay an injected reordering adds, enough for back-to-back frames to
+// overtake the delayed one.
+const reorderDelayFactor = 2.5
 
 // Transmit serializes payload onto the link as one AAL5 frame and
 // invokes onSent (if non-nil) when the last cell has left the adapter.
@@ -315,15 +388,37 @@ func (n *NIC) TransmitBuf(port int, payload mem.Buf, onSent func()) error {
 		n.eng.ScheduleAt(n.busyUntil, onSent)
 	}
 	deliver := n.busyUntil.Add(sim.Duration(n.link.fixedUS))
+	payload, deliver, survives, dup := n.injectWire(port, payload, deliver)
+	if !survives {
+		return nil
+	}
 	n.eng.ScheduleAt(deliver, func() { peer.receive(port, payload) })
+	if dup {
+		n.eng.ScheduleAt(deliver.Add(sim.Duration(n.link.fixedUS)), func() { peer.receive(port, payload) })
+	}
 	return nil
 }
+
+// Backpressure bounds: with fault injection attached, a frame that
+// finds the pool or outboard memory exhausted is redelivered a little
+// later (as a credit-based controller would withhold the sender)
+// instead of dropped, up to rxRetryLimit attempts.
+const (
+	rxRetryLimit   = 8
+	rxRetryDelayUS = 4.0
+)
 
 // receive runs at frame arrival and routes the payload according to the
 // input buffering architecture.
 func (n *NIC) receive(port int, payload mem.Buf) {
-	n.stats.RxFrames++
-	n.stats.RxBytes += uint64(payload.Len())
+	n.receiveAttempt(port, payload, 0)
+}
+
+func (n *NIC) receiveAttempt(port int, payload mem.Buf, attempt int) {
+	if attempt == 0 {
+		n.stats.RxFrames++
+		n.stats.RxBytes += uint64(payload.Len())
+	}
 	pkt := Packet{Port: port, Length: payload.Len(), Arrival: n.eng.Now()}
 
 	switch n.buffering {
@@ -345,41 +440,110 @@ func (n *NIC) receive(port int, payload mem.Buf) {
 		// No location information available: fall back to pooled overlay
 		// buffering if a pool exists (Section 6.2.2), else drop.
 		if n.pool == nil {
-			n.stats.Dropped++
-			n.dropEvent(port, payload.Len())
+			n.drop(port, payload.Len())
 			return
 		}
-		fallthrough
+		if !n.intoPool(&pkt, port, payload, attempt) {
+			return
+		}
 
 	case Pooled:
-		frames, err := n.pool.Get(n.pool.PagesFor(n.overlayOff + payload.Len()))
-		if err != nil {
-			n.stats.PoolFailures++
-			n.stats.Dropped++
-			n.dropEvent(port, payload.Len())
+		if !n.intoPool(&pkt, port, payload, attempt) {
 			return
 		}
-		mem.ScatterFrames(frames, n.overlayOff, payload)
-		pkt.Overlay = frames
-		pkt.OverlayOff = n.overlayOff
 
 	case OutboardBuffering:
-		buf, err := n.outboard.Alloc(payload.Len())
-		if err != nil {
-			n.stats.Dropped++
-			n.dropEvent(port, payload.Len())
+		if !n.intoOutboard(&pkt, port, payload, attempt) {
 			return
 		}
-		buf.writeAt(0, payload)
-		pkt.Outboard = buf
 	}
 
 	if n.rx != nil {
+		n.stats.Delivered++
 		n.rx(pkt)
-	} else {
-		n.stats.Dropped++
-		n.dropEvent(port, payload.Len())
+		return
 	}
+	// No protocol stack attached: return the staging resources so pool
+	// conservation holds on this drop branch too.
+	if pkt.Overlay != nil {
+		n.pool.Put(pkt.Overlay...)
+	}
+	if pkt.Outboard != nil {
+		pkt.Outboard.Free()
+	}
+	n.drop(port, payload.Len())
+}
+
+// intoPool places the payload into overlay pages, reporting false when
+// the frame was consumed by a drop or a deferred redelivery.
+func (n *NIC) intoPool(pkt *Packet, port int, payload mem.Buf, attempt int) bool {
+	var frames []*mem.Frame
+	err := ErrPoolDepleted
+	if n.inj.DenyPool() {
+		n.faultEvent("fault.pool", port, payload.Len())
+	} else {
+		frames, err = n.pool.Get(n.pool.PagesFor(n.overlayOff + payload.Len()))
+	}
+	if err != nil {
+		n.stats.PoolFailures++
+		if n.deferReceive(port, payload, attempt) {
+			return false
+		}
+		n.drop(port, payload.Len())
+		return false
+	}
+	mem.ScatterFrames(frames, n.overlayOff, payload)
+	pkt.Overlay = frames
+	pkt.OverlayOff = n.overlayOff
+	return true
+}
+
+// intoOutboard stages the payload in outboard memory, reporting false
+// when the frame was consumed by a drop or a deferred redelivery.
+func (n *NIC) intoOutboard(pkt *Packet, port int, payload mem.Buf, attempt int) bool {
+	var buf *OutboardBuffer
+	err := ErrOutboardFull
+	if n.inj.DenyPool() {
+		n.faultEvent("fault.pool", port, payload.Len())
+	} else {
+		buf, err = n.outboard.Alloc(payload.Len())
+	}
+	if err != nil {
+		if n.deferReceive(port, payload, attempt) {
+			return false
+		}
+		n.drop(port, payload.Len())
+		return false
+	}
+	buf.writeAt(0, payload)
+	pkt.Outboard = buf
+	return true
+}
+
+// deferReceive applies backpressure under fault injection: the frame is
+// redelivered after a short deterministic delay instead of dropped.
+// Bounded, so persistent exhaustion still surfaces as a drop; inert
+// without an injector, so fail-fast drop semantics of fault-free runs
+// are untouched.
+func (n *NIC) deferReceive(port int, payload mem.Buf, attempt int) bool {
+	if n.inj == nil || attempt >= rxRetryLimit {
+		return false
+	}
+	n.stats.Retried++
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: n.eng.Now(), Phase: trace.Instant, Cat: trace.CatNet,
+			Name: "net.rx.retry", Port: port, Bytes: payload.Len()})
+	}
+	n.eng.Schedule(sim.Duration(rxRetryDelayUS*float64(attempt+1)), func() {
+		n.receiveAttempt(port, payload, attempt+1)
+	})
+	return true
+}
+
+// drop accounts one dropped frame.
+func (n *NIC) drop(port, bytes int) {
+	n.stats.Dropped++
+	n.dropEvent(port, bytes)
 }
 
 // dropEvent emits the adapter-level drop instant (no posted buffer, pool
@@ -388,6 +552,15 @@ func (n *NIC) dropEvent(port, bytes int) {
 	if n.tr != nil {
 		n.tr.Emit(trace.Event{At: n.eng.Now(), Phase: trace.Instant, Cat: trace.CatNet,
 			Name: "net.rx.drop", Port: port, Bytes: bytes})
+	}
+}
+
+// faultEvent emits an injected-fault instant (fault.drop, fault.dup,
+// fault.reorder, fault.corrupt, fault.pool).
+func (n *NIC) faultEvent(name string, port, bytes int) {
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: n.eng.Now(), Phase: trace.Instant, Cat: trace.CatNet,
+			Name: name, Port: port, Bytes: bytes})
 	}
 }
 

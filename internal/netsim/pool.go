@@ -167,6 +167,10 @@ func NewOutboardMemory(capacity int) *OutboardMemory {
 // Free returns the unallocated outboard bytes.
 func (o *OutboardMemory) Free() int { return o.capacity - o.used }
 
+// Capacity returns the total outboard bytes; Free() == Capacity() when
+// every staged buffer has been released.
+func (o *OutboardMemory) Capacity() int { return o.capacity }
+
 // Reset discards all staged buffers, returning the adapter memory to
 // its post-construction state. Outstanding OutboardBuffers become
 // orphans; their Free calls are no longer meaningful and must not

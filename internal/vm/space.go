@@ -234,6 +234,11 @@ func (as *AddressSpace) PokeBuf(va Addr, b mem.Buf) error {
 // materialized copy on the bytes plane, an O(#extents) run gather on
 // the symbolic plane. Fault handling is identical to Peek.
 func (as *AddressSpace) PeekBuf(va Addr, length int) (mem.Buf, error) {
+	// Reachable from the public facade with a caller-supplied length; a
+	// negative value must be a returned error, not a make() panic.
+	if length < 0 {
+		return mem.Buf{}, fmt.Errorf("vm: PeekBuf length %d is negative", length)
+	}
 	if !as.sys.pm.Symbolic() {
 		buf := make([]byte, length)
 		if err := as.Peek(va, buf); err != nil {
