@@ -12,9 +12,22 @@
 //	geniebench -trace out.json # traced exemplar per figure (chrome://tracing)
 //	geniebench -nocache     # disable the measurement memo
 //	geniebench -norecycle   # disable testbed recycling
+//	geniebench -bigsweep    # million-point analytic sweep + seeded sim spot checks
 //	geniebench -dataplane bytes  # materialize payload bytes (default: symbolic)
 //	geniebench -faults seed=1,drop=0.25,corrupt=0.1  # chaos mode (see below)
 //	geniebench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Big-sweep mode (-bigsweep) evaluates the full cross-product of
+// platforms x networks x schemes x semantics x offsets x lengths —
+// about a million points at the default -sweepstride 47 — through the
+// closed-form analytic evaluator, while a seeded pseudo-random subset
+// of points (-spotcheck, default one in 4096) is re-run through the
+// discrete-event simulator as oracle. The run reports points/sec, the
+// spot-check count, and the worst analytic-vs-simulated relative
+// error; the exit status is nonzero if that error exceeds -errbound
+// (default 1e-9) or, when -minspeedup is set, if the analytic path is
+// not at least that many times faster per point than the simulator.
+// The same -sweepseed always selects the same spot-check set.
 //
 // Chaos mode (-faults) runs reliable transfers across every buffering
 // scheme and semantics family under the given seeded fault script and
@@ -187,6 +200,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"disable testbed recycling across measurement points")
 	dataplane := fs.String("dataplane", "symbolic",
 		"payload representation inside the simulator: symbolic or bytes (output is identical)")
+	bigsweep := fs.Bool("bigsweep", false,
+		"run the million-point analytic sweep with seeded simulated spot checks")
+	sweepStride := fs.Int("sweepstride", 47,
+		"bigsweep length stride over [1, 65535] (larger = fewer points)")
+	sweepSeed := fs.Uint64("sweepseed", 1,
+		"bigsweep spot-check selection seed (same seed = same spot-check set)")
+	spotCheck := fs.Int("spotcheck", 4096,
+		"bigsweep: expected points per simulated spot check (negative disables)")
+	errBound := fs.Float64("errbound", 1e-9,
+		"bigsweep: exit nonzero if the worst spot-check relative error exceeds this")
+	minSpeedup := fs.Float64("minspeedup", 0,
+		"bigsweep: exit nonzero if analytic/simulated per-point speedup falls below this (0 = no check)")
 	faultsFlag := fs.String("faults", "",
 		"chaos mode: seeded fault spec, e.g. seed=1,drop=0.25,dup=0.1,reorder=0.1,corrupt=0.05,allocfail=0.02,pooldeny=0.1")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this path")
@@ -221,6 +246,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return usageErr("-faults: spec %q injects nothing (set a seed and at least one rate)", *faultsFlag)
 		}
 	}
+	if *sweepStride < 1 {
+		return usageErr("-sweepstride must be at least 1, got %d", *sweepStride)
+	}
 	all := !*figures && !*tables && !*ablations && *tracePath == ""
 
 	experiments.SetParallelism(*parallel)
@@ -246,6 +274,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *bigsweep {
+		return runBigSweep(bigSweepOptions{
+			stride:     *sweepStride,
+			seed:       *sweepSeed,
+			spotCheck:  *spotCheck,
+			errBound:   *errBound,
+			minSpeedup: *minSpeedup,
+			parallel:   *parallel,
+			jsonPath:   *jsonPath,
+		}, stdout, stderr)
 	}
 
 	if *csvDir != "" {
@@ -334,6 +374,85 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := f.Close(); err != nil {
 			return fail(err)
 		}
+	}
+	return 0
+}
+
+// bigSweepOptions carries the -bigsweep flag settings into runBigSweep.
+type bigSweepOptions struct {
+	stride     int
+	seed       uint64
+	spotCheck  int
+	errBound   float64
+	minSpeedup float64
+	parallel   int
+	jsonPath   string
+}
+
+// bigsweepDoc is the -json document of a -bigsweep run.
+type bigsweepDoc struct {
+	Parallelism int                        `json:"parallelism"`
+	GOMAXPROCS  int                        `json:"gomaxprocs"`
+	Sweep       experiments.BigSweepReport `json:"bigsweep"`
+	Perf        experiments.PerfStats      `json:"perf"`
+}
+
+// runBigSweep executes the analytic cross-product sweep and enforces
+// the spot-check error bound (and optionally a minimum speedup) via the
+// exit status.
+func runBigSweep(opts bigSweepOptions, stdout, stderr io.Writer) int {
+	axes := experiments.DefaultSweepAxes()
+	axes.Lengths = nil
+	for n := 1; n <= netsim.MaxFrame; n += opts.stride {
+		axes.Lengths = append(axes.Lengths, n)
+	}
+	rep, err := experiments.BigSweep(experiments.BigSweepConfig{
+		Axes:           axes,
+		Seed:           opts.seed,
+		SpotCheckEvery: opts.spotCheck,
+		ErrBound:       opts.errBound,
+		Workers:        opts.parallel,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "geniebench:", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "bigsweep: %d points in %.2fs (%.0f points/sec)\n",
+		rep.Points, rep.ElapsedSec, rep.PointsPerSec)
+	fmt.Fprintf(stdout, "bigsweep: %d simulated spot checks, max relative error %g (bound %g)\n",
+		rep.SpotChecks, rep.MaxRelErr, rep.ErrBound)
+	fmt.Fprintf(stdout, "bigsweep: %.3f us/point analytic vs %.1f us/point simulated (%.0fx)\n",
+		rep.AnalyticPointUS, rep.SimulatedPointUS, rep.Speedup)
+
+	if opts.jsonPath != "" {
+		doc := bigsweepDoc{
+			Parallelism: opts.parallel,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Sweep:       rep,
+			Perf:        experiments.Perf(),
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "geniebench:", err)
+			return 1
+		}
+		if err := os.WriteFile(opts.jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "geniebench:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "geniebench: wrote %s\n", opts.jsonPath)
+	}
+
+	if !rep.BoundOK {
+		fmt.Fprintf(stderr, "geniebench: FAIL: max relative error %g exceeds bound %g (worst: %s)\n",
+			rep.MaxRelErr, rep.ErrBound, rep.WorstPoint)
+		return 1
+	}
+	if opts.minSpeedup > 0 && rep.Speedup < opts.minSpeedup {
+		fmt.Fprintf(stderr, "geniebench: FAIL: speedup %.0fx below required %.0fx\n",
+			rep.Speedup, opts.minSpeedup)
+		return 1
 	}
 	return 0
 }

@@ -1,0 +1,128 @@
+package genie_test
+
+import (
+	"testing"
+
+	"repro/genie"
+)
+
+// transferLatency runs one simulated transfer through the public facade
+// and returns its end-to-end latency in microseconds.
+func transferLatency(t *testing.T, sem genie.Semantics, length int, opts ...genie.Option) float64 {
+	t.Helper()
+	net, err := genie.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := net.HostA().NewProcess()
+	receiver := net.HostB().NewProcess()
+	src, err := sender.Brk(length + 2*net.PageSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := genie.NoAddr
+	if !sem.SystemAllocated() {
+		if dst, err = receiver.Brk(length + 2*net.PageSize()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sem.SystemAllocated() {
+		r, err := sender.AllocIOBuffer(length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src = r.Start()
+	}
+	out, in, err := net.Transfer(sender, receiver, 1, sem, src, dst, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.CompletedAt.Sub(out.StartedAt).Micros()
+}
+
+// TestEstimateMatchesTransfer pins the facade's closed-form estimate to
+// a real simulated transfer through the same facade.
+func TestEstimateMatchesTransfer(t *testing.T) {
+	for _, sem := range genie.AllSemantics() {
+		for _, length := range []int{64, 1666, 8192, 61440} {
+			est, err := genie.Estimate(genie.EstimatePoint{}, sem, length)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", sem, length, err)
+			}
+			got := transferLatency(t, sem, length)
+			if est.LatencyUS != got {
+				t.Errorf("%v/%d: estimate %v us, simulated transfer %v us",
+					sem, length, est.LatencyUS, got)
+			}
+			if est.Bytes != length || est.Sem != sem {
+				t.Errorf("%v/%d: estimate identity (%v, %d)", sem, length, est.Sem, est.Bytes)
+			}
+		}
+	}
+}
+
+// TestEstimatePlatformVariants checks that platform and network
+// selection flows through the estimate exactly as through New.
+func TestEstimatePlatformVariants(t *testing.T) {
+	p := genie.EstimatePoint{Platform: genie.AlphaStation255, Network: genie.OC12}
+	est, err := genie.Estimate(p, genie.EmulatedCopy, 61440)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := transferLatency(t, genie.EmulatedCopy, 61440,
+		genie.WithPlatform(genie.AlphaStation255), genie.WithNetwork(genie.OC12))
+	if est.LatencyUS != got {
+		t.Errorf("AlphaStation/OC-12: estimate %v us, simulated %v us", est.LatencyUS, got)
+	}
+	base, err := genie.Estimate(genie.EstimatePoint{}, genie.EmulatedCopy, 61440)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.LatencyUS == base.LatencyUS {
+		t.Error("platform/network selection had no effect on the estimate")
+	}
+}
+
+// TestEstimateBufferingVariants covers the pooled and outboard schemes
+// and a device offset.
+func TestEstimateBufferingVariants(t *testing.T) {
+	for _, b := range []genie.Buffering{genie.Pooled, genie.Outboard} {
+		est, err := genie.Estimate(genie.EstimatePoint{Buffering: b}, genie.Share, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := transferLatency(t, genie.Share, 8192, genie.WithBuffering(b))
+		if est.LatencyUS != got {
+			t.Errorf("buffering %v: estimate %v us, simulated %v us", b, est.LatencyUS, got)
+		}
+	}
+}
+
+// TestEstimateDerived sanity-checks the helper accessors.
+func TestEstimateDerived(t *testing.T) {
+	est, err := genie.Estimate(genie.EstimatePoint{}, genie.Share, 61440)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ThroughputMbps() <= 0 || est.ThroughputMbps() > 155 {
+		t.Errorf("throughput %v Mbps out of (0, 155]", est.ThroughputMbps())
+	}
+	if u := est.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %v out of (0, 1]", u)
+	}
+}
+
+// TestEstimateErrors mirrors the simulated path's validation.
+func TestEstimateErrors(t *testing.T) {
+	if _, err := genie.Estimate(genie.EstimatePoint{}, genie.Copy, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := genie.Estimate(genie.EstimatePoint{}, genie.Semantics(42), 64); err == nil {
+		t.Error("invalid semantics accepted")
+	}
+	cfg := genie.DefaultConfig()
+	cfg.Checksum = genie.ChecksumSeparate
+	if _, err := genie.Estimate(genie.EstimatePoint{Config: cfg}, genie.Share, 64); err == nil {
+		t.Error("checksummed share accepted")
+	}
+}

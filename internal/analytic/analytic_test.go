@@ -1,0 +1,213 @@
+package analytic_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+)
+
+// maxRelErr is the validation bound: the analytic evaluator replicates
+// the simulator's charge lists and floating-point fold order, so the
+// two paths should agree to the last bit; the bound only allows for
+// benign association differences.
+const maxRelErr = 1e-9
+
+var allSchemes = []netsim.InputBuffering{
+	netsim.EarlyDemux, netsim.Pooled, netsim.OutboardBuffering,
+}
+
+func schemeName(s netsim.InputBuffering) string {
+	switch s {
+	case netsim.EarlyDemux:
+		return "earlydemux"
+	case netsim.Pooled:
+		return "pooled"
+	case netsim.OutboardBuffering:
+		return "outboard"
+	}
+	return fmt.Sprintf("scheme%d", int(s))
+}
+
+// comparePoint runs one point through both paths and records the error.
+func comparePoint(t *testing.T, ck *analytic.Checker, s experiments.Setup, sem core.Semantics, length int) {
+	t.Helper()
+	want, simErr := experiments.Measure(s, sem, length)
+	got, anErr := analytic.Evaluate(analytic.Point{
+		Model:     s.Model,
+		Scheme:    s.Scheme,
+		Sem:       sem,
+		DevOff:    s.DevOff,
+		AppOffset: s.AppOffset,
+		Length:    length,
+		Genie:     s.Genie,
+	})
+	desc := fmt.Sprintf("%s/%v/devoff=%d/appoff=%d/len=%d/ck=%d",
+		schemeName(s.Scheme), sem, s.DevOff, s.AppOffset, length, s.Genie.Checksum)
+	if (simErr != nil) != (anErr != nil) {
+		t.Fatalf("%s: simulated err %v, analytic err %v", desc, simErr, anErr)
+	}
+	if simErr != nil {
+		return
+	}
+	if e := ck.Record(desc, got, want.LatencyUS, want.RxCPUUS, want.TxCPUUS); e > maxRelErr {
+		t.Errorf("%s: rel err %g > %g\n  analytic  lat=%v rx=%v tx=%v\n  simulated lat=%v rx=%v tx=%v",
+			desc, e, maxRelErr,
+			got.LatencyUS, got.RxCPUUS, got.TxCPUUS,
+			want.LatencyUS, want.RxCPUUS, want.TxCPUUS)
+	}
+	if got.Bytes != want.Bytes || got.Sem != want.Sem {
+		t.Errorf("%s: identity mismatch: got (%v,%d) want (%v,%d)",
+			desc, got.Sem, got.Bytes, want.Sem, want.Bytes)
+	}
+}
+
+// TestEvaluateMatchesSimulation is the self-validation harness: every
+// (scheme, semantics, offsets, length) combination below runs through
+// both the closed-form evaluator and the discrete-event simulation, and
+// the worst relative disagreement across latency, receiver CPU, and
+// sender CPU must stay under maxRelErr.
+func TestEvaluateMatchesSimulation(t *testing.T) {
+	lengths := []int{1, 47, 48, 64, 166, 167, 280, 1000, 1466, 1666,
+		2048, 2178, 4095, 4096, 4097, 8192, 9000, 16384, 61440, 65535}
+	offsets := []struct{ dev, app int }{
+		{0, 0},    // aligned at zero
+		{24, 24},  // aligned at a nonzero offset
+		{0, 24},   // misaligned: device at 0, app at 24
+		{24, 0},   // misaligned the other way
+		{4096, 0}, // page-sized device offset: unaligned under pooled
+	}
+	ck := &analytic.Checker{}
+	for _, scheme := range allSchemes {
+		for _, off := range offsets {
+			s := experiments.Setup{Scheme: scheme, DevOff: off.dev, AppOffset: off.app}
+			for _, sem := range core.AllSemantics() {
+				for _, n := range lengths {
+					comparePoint(t, ck, s, sem, n)
+				}
+			}
+		}
+	}
+	if ck.Checks() == 0 {
+		t.Fatal("no points compared")
+	}
+	t.Logf("compared %d points, max rel err %g (worst: %s)",
+		ck.Checks(), ck.MaxErr(), ck.Worst())
+}
+
+// TestEvaluateMatchesSimulationAcrossModels repeats a reduced sweep on
+// every platform/network cost model, so platform scaling (page size,
+// cache ratio, link rate) flows through the analytic path identically.
+func TestEvaluateMatchesSimulationAcrossModels(t *testing.T) {
+	lengths := []int{64, 167, 1666, 4096, 8192, 8193, 16384, 65535}
+	ck := &analytic.Checker{}
+	for _, p := range cost.Platforms() {
+		for _, nw := range []cost.Network{cost.CreditNetOC3, cost.CreditNetOC12} {
+			m := cost.NewModel(p, nw)
+			for _, scheme := range allSchemes {
+				s := experiments.Setup{Model: m, Scheme: scheme, DevOff: 24, AppOffset: 24}
+				for _, sem := range core.AllSemantics() {
+					for _, n := range lengths {
+						comparePoint(t, ck, s, sem, n)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("compared %d points, max rel err %g", ck.Checks(), ck.MaxErr())
+}
+
+// TestEvaluateMatchesSimulationChecksum covers the checksum modes on
+// the combinations that support them, and the error parity on the ones
+// that do not.
+func TestEvaluateMatchesSimulationChecksum(t *testing.T) {
+	ck := &analytic.Checker{}
+	lengths := []int{64, 167, 1664, 1666, 4096, 65533}
+	for _, mode := range []core.ChecksumMode{core.ChecksumSeparate, core.ChecksumIntegrated} {
+		cfg := core.DefaultConfig()
+		cfg.Checksum = mode
+		for _, scheme := range allSchemes {
+			s := experiments.Setup{Scheme: scheme, Genie: cfg, AppOffset: 24}
+			for _, sem := range core.AllSemantics() {
+				for _, n := range lengths {
+					comparePoint(t, ck, s, sem, n)
+				}
+			}
+		}
+	}
+	t.Logf("compared %d points, max rel err %g", ck.Checks(), ck.MaxErr())
+}
+
+// TestEvaluateConfigVariants exercises non-default tunables: conversion
+// thresholds, reverse-copyout threshold, and system input alignment.
+func TestEvaluateConfigVariants(t *testing.T) {
+	ck := &analytic.Checker{}
+	variants := []core.Config{
+		{EmCopyOutputThreshold: 1, EmShareOutputThreshold: 1, ReverseCopyoutThreshold: 2178, SystemAlignment: true, KernelPoolPages: 64},
+		{EmCopyOutputThreshold: 65536, EmShareOutputThreshold: 65536, ReverseCopyoutThreshold: 2178, SystemAlignment: true, KernelPoolPages: 64},
+		{EmCopyOutputThreshold: 1666, EmShareOutputThreshold: 280, ReverseCopyoutThreshold: 1, SystemAlignment: true, KernelPoolPages: 64},
+		{EmCopyOutputThreshold: 1666, EmShareOutputThreshold: 280, ReverseCopyoutThreshold: 2178, SystemAlignment: false, KernelPoolPages: 64},
+	}
+	for _, cfg := range variants {
+		for _, scheme := range allSchemes {
+			for _, off := range []struct{ dev, app int }{{0, 0}, {24, 24}, {0, 100}} {
+				s := experiments.Setup{Scheme: scheme, Genie: cfg, DevOff: off.dev, AppOffset: off.app}
+				for _, sem := range core.AllSemantics() {
+					for _, n := range []int{64, 1666, 4096, 8192} {
+						comparePoint(t, ck, s, sem, n)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("compared %d points, max rel err %g", ck.Checks(), ck.MaxErr())
+}
+
+// TestEvaluateErrors checks that Evaluate rejects what the simulated
+// path rejects, with the same sentinel errors.
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := analytic.Evaluate(analytic.Point{Sem: core.Semantics(42), Length: 64}); !errors.Is(err, core.ErrBadSemantics) {
+		t.Errorf("invalid semantics: got %v, want ErrBadSemantics", err)
+	}
+	for _, n := range []int{0, -1, netsim.MaxFrame + 1} {
+		if _, err := analytic.Evaluate(analytic.Point{Sem: core.Copy, Length: n}); !errors.Is(err, core.ErrBadBuffer) {
+			t.Errorf("length %d: got %v, want ErrBadBuffer", n, err)
+		}
+	}
+	cfg := core.DefaultConfig()
+	cfg.Checksum = core.ChecksumSeparate
+	// Checksumming is only defined for copy semantics over early demux.
+	if _, err := analytic.Evaluate(analytic.Point{Sem: core.Share, Length: 64, Genie: cfg}); !errors.Is(err, core.ErrChecksumUnsupported) {
+		t.Errorf("checksum+share: got %v, want ErrChecksumUnsupported", err)
+	}
+	if _, err := analytic.Evaluate(analytic.Point{Scheme: netsim.Pooled, Sem: core.Copy, Length: 64, Genie: cfg}); !errors.Is(err, core.ErrChecksumUnsupported) {
+		t.Errorf("checksum+pooled: got %v, want ErrChecksumUnsupported", err)
+	}
+	if _, err := analytic.Evaluate(analytic.Point{Sem: core.Copy, Length: -5}); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := analytic.Evaluate(analytic.Point{Sem: core.Copy, Length: 64, DevOff: -1}); err == nil {
+		t.Error("negative device offset accepted")
+	}
+}
+
+// TestEstimateDerivedQuantities pins the derived accessors to the same
+// definitions Measurement uses.
+func TestEstimateDerivedQuantities(t *testing.T) {
+	e := analytic.Estimate{Bytes: 1000, LatencyUS: 500, RxCPUUS: 100}
+	if got, want := e.ThroughputMbps(), 1000.0*8/500; got != want {
+		t.Errorf("ThroughputMbps = %v, want %v", got, want)
+	}
+	if got, want := e.Utilization(), 100.0/500; got != want {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+	var zero analytic.Estimate
+	if zero.ThroughputMbps() != 0 || zero.Utilization() != 0 {
+		t.Error("zero estimate should have zero derived quantities")
+	}
+}

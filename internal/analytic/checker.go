@@ -1,0 +1,73 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Checker accumulates analytic-vs-simulated comparisons and tracks the
+// worst relative error seen across latency, receiver CPU, and sender
+// CPU. BigSweep's spot-check oracle and the validation tests feed it
+// from many goroutines; it is safe for concurrent use.
+type Checker struct {
+	mu     sync.Mutex
+	checks uint64
+	maxErr float64
+	worst  string // description of the worst-disagreeing point
+}
+
+// relErr is |got-want| scaled by max(1, |want|): relative error for
+// values of at least a microsecond, absolute error below that. The
+// floor matters because some quantities are legitimately zero (sender
+// CPU of a short copy is entirely clamped charges) and a pure relative
+// error would blow up on them.
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Max(1, math.Abs(want))
+}
+
+// Record compares one analytic estimate against its simulated oracle
+// and returns the worst relative error across the three quantities.
+// The desc is retained if this point becomes the worst seen so far.
+func (c *Checker) Record(desc string, got Estimate, wantLatencyUS, wantRxCPUUS, wantTxCPUUS float64) float64 {
+	worst := relErr(got.LatencyUS, wantLatencyUS)
+	label := "latency"
+	if e := relErr(got.RxCPUUS, wantRxCPUUS); e > worst {
+		worst, label = e, "rx cpu"
+	}
+	if e := relErr(got.TxCPUUS, wantTxCPUUS); e > worst {
+		worst, label = e, "tx cpu"
+	}
+	c.mu.Lock()
+	c.checks++
+	if worst > c.maxErr {
+		c.maxErr = worst
+		c.worst = fmt.Sprintf("%s (%s: analytic %v/%v/%v vs simulated %v/%v/%v)",
+			desc, label, got.LatencyUS, got.RxCPUUS, got.TxCPUUS,
+			wantLatencyUS, wantRxCPUUS, wantTxCPUUS)
+	}
+	c.mu.Unlock()
+	return worst
+}
+
+// Checks returns the number of comparisons recorded.
+func (c *Checker) Checks() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checks
+}
+
+// MaxErr returns the worst relative error recorded so far.
+func (c *Checker) MaxErr() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxErr
+}
+
+// Worst describes the point that produced the worst error, or "" if
+// nothing has been recorded.
+func (c *Checker) Worst() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.worst
+}

@@ -1,0 +1,66 @@
+package cost
+
+import "math"
+
+// The fingerprint is a content hash of everything that determines a
+// model's behaviour: every operation's linear fit, the base-latency and
+// CPU-accounting parameters, and the platform geometry (page size) that
+// shapes charge sequences downstream. Two separately constructed models
+// with identical content hash identically, so memo caches keyed by
+// fingerprint share entries that pointer-keyed caches would miss.
+//
+// The hash is FNV-1a over the little-endian IEEE-754 bits of each
+// float64 and the values of each integer field, folded in declaration
+// order. Op order is the Op enum order, which is fixed, so the
+// fingerprint is deterministic across runs and platforms.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv1a folds one 64-bit word into the hash, byte by byte.
+func fnv1a(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func fnvFloat(h uint64, f float64) uint64 { return fnv1a(h, math.Float64bits(f)) }
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	// Terminate so concatenated strings cannot collide by reslicing.
+	return fnv1a(h, uint64(len(s)))
+}
+
+// fingerprintOf computes the content hash of a fully constructed model.
+func fingerprintOf(m *Model) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvString(h, m.Platform.Name)
+	h = fnv1a(h, uint64(m.Platform.PageSize))
+	h = fnvString(h, m.Net.Name)
+	h = fnvFloat(h, m.Net.RateMbps)
+	for op := Op(0); op < numOps; op++ {
+		h = fnvFloat(h, m.ops[op].PerByte)
+		h = fnvFloat(h, m.ops[op].Fixed)
+	}
+	h = fnvFloat(h, m.BasePerByte)
+	h = fnvFloat(h, m.BaseFixedHW)
+	h = fnvFloat(h, m.BaseFixedOS)
+	h = fnvFloat(h, m.PerCellCPU)
+	h = fnvFloat(h, m.FixedKernelCPU)
+	return h
+}
+
+// Fingerprint returns the model's content hash, computed once at
+// construction. Models with equal fingerprints are behaviourally
+// identical: every charge, base-latency term, and page-geometry
+// decision agrees.
+func (m *Model) Fingerprint() uint64 { return m.fingerprint }

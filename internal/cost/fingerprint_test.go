@@ -1,0 +1,62 @@
+package cost
+
+import "testing"
+
+// Separately constructed identical models must share a fingerprint —
+// the property that lets memo caches keyed on content dedupe across
+// Model instances.
+func TestFingerprintContentIdentity(t *testing.T) {
+	a := NewModel(MicronP166, CreditNetOC3)
+	b := NewModel(MicronP166, CreditNetOC3)
+	if a == b {
+		t.Fatal("NewModel returned the same pointer twice")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("identical models fingerprint differently: %#x vs %#x",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() != Baseline().Fingerprint() {
+		t.Errorf("fresh baseline-config model does not match Baseline(): %#x vs %#x",
+			a.Fingerprint(), Baseline().Fingerprint())
+	}
+}
+
+// Every distinct configuration must fingerprint distinctly.
+func TestFingerprintDistinguishesModels(t *testing.T) {
+	seen := map[uint64]string{}
+	add := func(name string, m *Model) {
+		t.Helper()
+		if prev, ok := seen[m.Fingerprint()]; ok {
+			t.Errorf("%s collides with %s: %#x", name, prev, m.Fingerprint())
+			return
+		}
+		seen[m.Fingerprint()] = name
+	}
+	for _, p := range Platforms() {
+		for _, n := range []Network{CreditNetOC3, CreditNetOC12} {
+			add(p.Name+"/"+n.Name, NewModel(p, n))
+		}
+	}
+	add("ablated copyout", Baseline().WithOpModel(Copyout, Linear{0.044, 15}))
+	add("zeroed copyout", Baseline().WithOpModel(Copyout, Linear{}))
+}
+
+// WithOpModel must recompute the variant's fingerprint and leave the
+// receiver's untouched.
+func TestFingerprintWithOpModel(t *testing.T) {
+	base := Baseline()
+	before := base.Fingerprint()
+	v := base.WithOpModel(Swap, Linear{0.01, 1})
+	if base.Fingerprint() != before {
+		t.Error("WithOpModel changed the receiver's fingerprint")
+	}
+	if v.Fingerprint() == before {
+		t.Error("overridden model kept the base fingerprint")
+	}
+	// Round-tripping the original op model restores the fingerprint.
+	back := v.WithOpModel(Swap, base.OpModel(Swap))
+	if back.Fingerprint() != before {
+		t.Errorf("restoring the op model did not restore the fingerprint: %#x vs %#x",
+			back.Fingerprint(), before)
+	}
+}

@@ -52,6 +52,11 @@ type Model struct {
 	// CPU without appearing in end-to-end latency.
 	PerCellCPU     float64
 	FixedKernelCPU float64
+
+	// fingerprint is the content hash of every field above, computed at
+	// construction (see fingerprint.go). Caches key on it so that
+	// separately constructed identical models share memo entries.
+	fingerprint uint64
 }
 
 // Cost returns the latency of op applied to b bytes.
@@ -66,6 +71,7 @@ func (m *Model) OpModel(op Op) Linear { return m.ops[op] }
 func (m *Model) WithOpModel(op Op, l Linear) *Model {
 	c := *m
 	c.ops[op] = l
+	c.fingerprint = fingerprintOf(&c)
 	return &c
 }
 
@@ -197,6 +203,7 @@ func NewModel(p Platform, n Network) *Model {
 	// fixed kernel work at the receiver, both CPU-dominated.
 	m.PerCellCPU = 0.20 * cpuRatio
 	m.FixedKernelCPU = 45 * cpuRatio
+	m.fingerprint = fingerprintOf(m)
 	return m
 }
 

@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/cost"
 	"repro/internal/faults"
 	"repro/internal/netsim"
 )
@@ -14,14 +14,14 @@ import (
 // determinism: two Measure calls with equal keys provably produce the
 // same Measurement, because the simulation is a pure function of the
 // cost model, the testbed configuration, the semantics, and the length.
-// The cost model enters by identity — models are immutable after
-// construction, so pointer equality implies behavioural equality (a nil
-// Setup.Model is normalized to the shared Baseline first, which is how
-// every default-setup generator ends up sharing one entry space). The
-// Genie config enters by content, with the zero value normalized to the
-// defaults NewTestbed would substitute.
+// The cost model enters by content fingerprint — models are immutable
+// and fingerprinted at construction, so separately constructed but
+// identical models share one entry space (a nil Setup.Model is
+// normalized to the shared Baseline first). The Genie config enters by
+// content, with the zero value normalized to the defaults NewTestbed
+// would substitute.
 type cacheKey struct {
-	model      *cost.Model
+	model      uint64 // cost.Model content fingerprint
 	scheme     netsim.InputBuffering
 	devOff     int
 	appOffset  int
@@ -40,7 +40,7 @@ func measureKey(s Setup, sem core.Semantics, length int) cacheKey {
 		genie = core.DefaultConfig()
 	}
 	return cacheKey{
-		model:      s.model(),
+		model:      s.model().Fingerprint(),
 		scheme:     s.Scheme,
 		devOff:     s.DevOff,
 		appOffset:  s.AppOffset,
@@ -62,6 +62,42 @@ type cacheEntry struct {
 	err  error
 }
 
+// cacheShards is the number of lock-striped segments. A power of two so
+// the shard index is a mask of the key hash; 32 stripes keep lock
+// contention negligible at any plausible -parallel setting while the
+// per-shard maps stay dense.
+const cacheShards = 32
+
+// cacheShard is one lock-striped segment of the memo.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+// shardIndex hashes the key's discriminating fields (FNV-1a) down to a
+// stripe. The hash only distributes — equality is still decided by the
+// full key inside the shard map.
+func shardIndex(k *cacheKey) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(k.model)
+	mix(uint64(k.scheme)<<32 | uint64(k.sem))
+	mix(uint64(k.length))
+	mix(uint64(k.devOff)<<20 | uint64(k.appOffset))
+	for i := 0; i < len(k.plane); i++ {
+		h ^= uint64(k.plane[i])
+		h *= prime
+	}
+	return h & (cacheShards - 1)
+}
+
 // Cache is a content-keyed, single-flight memo of measurement points.
 // Across a full geniebench run the figure and table generators probe
 // many identical (Setup, Semantics, length) points — Figure 3, its
@@ -73,12 +109,16 @@ type cacheEntry struct {
 // rest wait on its entry. The paper's thesis is that redundant data
 // handling dominates I/O cost; the harness takes its own advice.
 //
+// The memo is lock-striped across cacheShards segments keyed by a hash
+// of the point, so parallel workers probing different points do not
+// serialize on one mutex; the BigSweep spot-check oracle in particular
+// drives it from every worker at once.
+//
 // A Cache is safe for concurrent use. Cached Measurements (including
 // their Records slices) are shared across callers and must be treated
 // as immutable.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
+	shards [cacheShards]cacheShard
 
 	hits   atomic.Uint64 // lookups satisfied by a completed entry
 	misses atomic.Uint64 // lookups that computed the point
@@ -87,7 +127,11 @@ type Cache struct {
 
 // NewCache returns an empty measurement cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]*cacheEntry)
+	}
+	return c
 }
 
 // Measure returns the memoized measurement for the point, computing it
@@ -95,9 +139,10 @@ func NewCache() *Cache {
 // so a failing point fails identically on every probe.
 func (c *Cache) Measure(s Setup, sem core.Semantics, length int) (Measurement, error) {
 	key := measureKey(s, sem, length)
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.mu.Unlock()
+	sh := &c.shards[shardIndex(&key)]
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
 		select {
 		case <-e.done:
 			c.hits.Add(1)
@@ -108,8 +153,8 @@ func (c *Cache) Measure(s Setup, sem core.Semantics, length int) (Measurement, e
 		return e.m, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.mu.Unlock()
+	sh.entries[key] = e
+	sh.mu.Unlock()
 	c.misses.Add(1)
 	e.m, e.err = measureUncached(s, sem, length)
 	close(e.done)
@@ -118,9 +163,13 @@ func (c *Cache) Measure(s Setup, sem core.Semantics, length int) (Measurement, e
 
 // Len returns the number of memoized points (including in-flight ones).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].entries)
+		c.shards[i].mu.Unlock()
+	}
+	return n
 }
 
 // measureCache is the package-wide cache consulted by Measure; nil
@@ -165,14 +214,26 @@ type PerfStats struct {
 	// ResetFailures counts testbeds dropped because Reset failed; always
 	// zero unless a simulation leaked state.
 	ResetFailures uint64 `json:"reset_failures,omitempty"`
+	// AnalyticPoints counts measurement points served by the closed-form
+	// evaluator (EstimateAnalytic and BigSweep) instead of the simulator.
+	AnalyticPoints uint64 `json:"analytic_points,omitempty"`
+	// SimulatedSpotchecks counts the seeded oracle simulations BigSweep
+	// ran to validate the analytic path.
+	SimulatedSpotchecks uint64 `json:"simulated_spotchecks,omitempty"`
+	// MaxRelErr is the worst analytic-vs-simulated relative error
+	// observed by any spot check since the last reset.
+	MaxRelErr float64 `json:"max_rel_err,omitempty"`
 }
 
 // Perf returns a snapshot of the package-wide performance counters.
 func Perf() PerfStats {
 	st := PerfStats{
-		TestbedsBuilt:    testbedsBuilt.Load(),
-		TestbedsRecycled: testbedsRecycled.Load(),
-		ResetFailures:    testbedResetFailures.Load(),
+		TestbedsBuilt:       testbedsBuilt.Load(),
+		TestbedsRecycled:    testbedsRecycled.Load(),
+		ResetFailures:       testbedResetFailures.Load(),
+		AnalyticPoints:      analyticPoints.Load(),
+		SimulatedSpotchecks: simulatedSpotchecks.Load(),
+		MaxRelErr:           math.Float64frombits(analyticMaxRelErr.Load()),
 	}
 	if c := measureCache.Load(); c != nil {
 		st.CacheHits = c.hits.Load()
@@ -194,4 +255,7 @@ func ResetPerf() {
 	testbedsBuilt.Store(0)
 	testbedsRecycled.Store(0)
 	testbedResetFailures.Store(0)
+	analyticPoints.Store(0)
+	simulatedSpotchecks.Store(0)
+	analyticMaxRelErr.Store(0)
 }

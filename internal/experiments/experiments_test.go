@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/netsim"
+	"repro/internal/stats"
 )
 
 func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
@@ -136,11 +137,52 @@ func TestTable6Recovery(t *testing.T) {
 
 // TestTable7AgainstPaper: the regenerated estimated fits must land close
 // to the paper's published estimates for every semantics and scheme.
+//
+// The estimated-row comparison always runs, with the end-to-end fits
+// evaluated in closed form (the analytic package pins the fast path to
+// the simulator bit-for-bit, and the simulated variant below pins the
+// estimate/actual agreement, so the analytic fits legitimately stand in
+// for the estimates). The slow, fully simulated regeneration — the
+// instrumented operation fits and the composed estimates — is gated
+// behind -short.
 func TestTable7AgainstPaper(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full Table 7 regeneration is slow")
-	}
 	lengths := PageSweep(4096)
+
+	fitCheck := func(fit stats.Fit, pf PaperFit, sem core.Semantics, label string) {
+		t.Helper()
+		if !almost(fit.Slope, pf.PerByte, 0.0015) {
+			t.Errorf("%v %s: slope %.4f, paper %.4f", sem, label, fit.Slope, pf.PerByte)
+		}
+		if !almost(fit.Intercept, pf.Fixed, 16) {
+			t.Errorf("%v %s: intercept %.0f, paper %.0f", sem, label, fit.Intercept, pf.Fixed)
+		}
+	}
+	early := Setup{Scheme: netsim.EarlyDemux}
+	aligned := Setup{Scheme: netsim.Pooled}
+	unaligned := Setup{Scheme: netsim.Pooled, AppOffset: 1000}
+	for _, row := range PaperTable7 {
+		fitE, err := analyticLatencyFit(early, row.Sem, lengths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitCheck(fitE, row.EarlyE, row.Sem, "early (analytic)")
+		fitP, err := analyticLatencyFit(aligned, row.Sem, lengths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitCheck(fitP, row.AlignedE, row.Sem, "aligned pooled (analytic)")
+		// System-allocated semantics ignore application placement, so
+		// the unaligned setup reproduces the aligned column for them.
+		fitU, err := analyticLatencyFit(unaligned, row.Sem, lengths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitCheck(fitU, row.UnalignedE, row.Sem, "unaligned pooled (analytic)")
+	}
+
+	if testing.Short() {
+		t.Skip("full simulated Table 7 regeneration is slow")
+	}
 	opFits, err := fitOps(Setup{}, lengths)
 	if err != nil {
 		t.Fatal(err)

@@ -1,26 +1,32 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback, owned by the engine. Fired and discarded
-// events are recycled through a free list, so callers never hold *Event
-// directly — Schedule and ScheduleAt return a Handle whose generation
-// check keeps stale cancellations from touching a recycled event.
-type Event struct {
+// The engine stores events in a flat arena and orders them with a
+// min-heap of int32 indices into it. Compared to a container/heap of
+// *Event, sift operations move 4-byte indices instead of pointers, the
+// comparison loads stay within one contiguous slice (no per-event
+// pointer chase), and Reserve can pre-size arena and heap together.
+// Fired and discarded slots are recycled through a free list, so the
+// steady-state schedule/fire path allocates nothing.
+//
+// Callers never hold event storage directly — the arena reallocates as
+// it grows, so Schedule and ScheduleAt return a Handle that names a slot
+// by (engine, index, generation). The generation check keeps stale
+// cancellations from touching a recycled slot.
+type event struct {
 	at     Time
 	seq    uint64
 	fn     func()
-	index  int // heap index, -1 once removed
+	pos    int32 // heap position, -1 once removed
+	gen    uint32
 	cancel bool
-	gen    uint32 // incremented on recycle; stale Handles become inert
 }
 
 // Handle identifies one scheduled event. The zero Handle is inert.
 type Handle struct {
-	ev  *Event
+	e   *Engine
+	idx int32
 	gen uint32
 	at  Time
 }
@@ -30,46 +36,19 @@ func (h Handle) When() Time { return h.at }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op: once the event fires or is
-// discarded, the engine recycles it under a new generation and the stale
-// handle no longer matches.
+// discarded, the engine recycles its slot under a new generation and the
+// stale handle no longer matches.
 func (h Handle) Cancel() {
-	if h.ev != nil && h.ev.gen == h.gen {
-		h.ev.cancel = true
+	if h.e == nil || int(h.idx) >= len(h.e.events) {
+		return
+	}
+	if ev := &h.e.events[h.idx]; ev.gen == h.gen {
+		ev.cancel = true
 	}
 }
 
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
-// initialQueueCap sizes the event queue and free list on first use, ample
-// for one datagram transfer without growth.
+// initialQueueCap sizes the event arena and index heap on first use,
+// ample for one datagram transfer without growth.
 const initialQueueCap = 64
 
 // Engine is a deterministic discrete-event simulator.
@@ -78,11 +57,12 @@ const initialQueueCap = 64
 // not safe for concurrent use; independent simulations run in parallel by
 // giving each its own Engine.
 type Engine struct {
-	now   Time
-	seq   uint64
-	queue eventQueue
-	free  []*Event // recycled events, reused by ScheduleAt
-	steps uint64
+	now    Time
+	seq    uint64
+	events []event // arena; slots recycled through free
+	heap   []int32 // min-heap of arena indices, ordered by (at, seq)
+	free   []int32 // recycled slots, reused by ScheduleAt
+	steps  uint64
 }
 
 // New returns a new engine with the clock at time zero.
@@ -92,13 +72,18 @@ func New() *Engine {
 	return e
 }
 
-// Reserve grows the event queue's capacity so that at least n events can
-// be pending without reallocation.
+// Reserve grows the arena and index heap capacity so that at least n
+// more events can be pending without reallocation.
 func (e *Engine) Reserve(n int) {
-	if cap(e.queue)-len(e.queue) < n {
-		q := make(eventQueue, len(e.queue), len(e.queue)+n)
-		copy(q, e.queue)
-		e.queue = q
+	if cap(e.events)-len(e.events) < n {
+		ev := make([]event, len(e.events), len(e.events)+n)
+		copy(ev, e.events)
+		e.events = ev
+	}
+	if cap(e.heap)-len(e.heap) < n {
+		h := make([]int32, len(e.heap), len(e.heap)+n)
+		copy(h, e.heap)
+		e.heap = h
 	}
 }
 
@@ -107,10 +92,73 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events waiting to fire (including
 // cancelled events not yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
+
+// less orders heap entries by (time, sequence).
+func (e *Engine) less(i, j int32) bool {
+	a, b := &e.events[i], &e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores heap order upward from heap position i.
+func (e *Engine) siftUp(i int) {
+	idx := e.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(idx, e.heap[parent]) {
+			break
+		}
+		e.heap[i] = e.heap[parent]
+		e.events[e.heap[i]].pos = int32(i)
+		i = parent
+	}
+	e.heap[i] = idx
+	e.events[idx].pos = int32(i)
+}
+
+// siftDown restores heap order downward from heap position i.
+func (e *Engine) siftDown(i int) {
+	idx := e.heap[i]
+	n := len(e.heap)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && e.less(e.heap[r], e.heap[child]) {
+			child = r
+		}
+		if !e.less(e.heap[child], idx) {
+			break
+		}
+		e.heap[i] = e.heap[child]
+		e.events[e.heap[i]].pos = int32(i)
+		i = child
+	}
+	e.heap[i] = idx
+	e.events[idx].pos = int32(i)
+}
+
+// pop removes and returns the arena index of the earliest heap entry.
+func (e *Engine) pop() int32 {
+	idx := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heap[0] = last
+		e.events[last].pos = 0
+		e.siftDown(0)
+	}
+	e.events[idx].pos = -1
+	return idx
+}
 
 // Schedule queues fn to run d after the current time. A negative d is an
 // error in the caller; it is clamped to zero so the event still fires,
@@ -128,42 +176,44 @@ func (e *Engine) ScheduleAt(t Time, fn func()) Handle {
 	if t < e.now {
 		t = e.now
 	}
-	var ev *Event
+	var idx int32
 	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
+		idx = e.free[n-1]
 		e.free = e.free[:n-1]
-		ev.at, ev.fn, ev.cancel = t, fn, false
 	} else {
-		ev = &Event{at: t, fn: fn}
+		e.events = append(e.events, event{})
+		idx = int32(len(e.events) - 1)
 	}
+	ev := &e.events[idx]
+	ev.at, ev.fn, ev.cancel = t, fn, false
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return Handle{ev: ev, gen: ev.gen, at: t}
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+	return Handle{e: e, idx: idx, gen: ev.gen, at: t}
 }
 
-// release recycles a popped event into the free list. Bumping the
+// release recycles a popped slot into the free list. Bumping the
 // generation makes every outstanding Handle to it inert.
-func (e *Engine) release(ev *Event) {
+func (e *Engine) release(idx int32) {
+	ev := &e.events[idx]
 	ev.gen++
 	ev.fn = nil
-	e.free = append(e.free, ev)
+	ev.pos = -1
+	e.free = append(e.free, idx)
 }
 
 // Reset returns the engine to its post-construction state: clock at
 // zero, sequence and step counters at zero, no pending events. The
-// event free list is retained, so an engine recycled across simulation
-// runs keeps its allocation-free schedule/fire path warm. Outstanding
-// Handles become inert (their events are recycled under new
+// event arena and free list are retained, so an engine recycled across
+// simulation runs keeps its allocation-free schedule/fire path warm.
+// Outstanding Handles become inert (their slots are recycled under new
 // generations), exactly as if they had fired.
 func (e *Engine) Reset() {
-	for n := len(e.queue); n > 0; n = len(e.queue) {
-		ev := e.queue[n-1]
-		e.queue[n-1] = nil
-		e.queue = e.queue[:n-1]
-		ev.index = -1
-		e.release(ev)
+	for n := len(e.heap); n > 0; n = len(e.heap) {
+		idx := e.heap[n-1]
+		e.heap = e.heap[:n-1]
+		e.release(idx)
 	}
 	e.now, e.seq, e.steps = 0, 0, 0
 }
@@ -171,16 +221,19 @@ func (e *Engine) Reset() {
 // Step executes the single earliest pending event, advancing the clock to
 // its time. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+	for len(e.heap) > 0 {
+		idx := e.pop()
+		ev := &e.events[idx]
 		if ev.cancel {
-			e.release(ev)
+			e.release(idx)
 			continue
 		}
 		e.now = ev.at
 		e.steps++
+		// Capture fn before releasing: the callback may schedule new
+		// events, growing the arena and invalidating ev.
 		fn := ev.fn
-		e.release(ev)
+		e.release(idx)
 		fn()
 		return true
 	}
@@ -198,21 +251,21 @@ func (e *Engine) Run() Time {
 // Cancelled events encountered on the way are discarded in a single pass:
 // each one is popped and recycled exactly once.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if ev.cancel {
-			heap.Pop(&e.queue)
-			e.release(ev)
+	for len(e.heap) > 0 {
+		root := e.heap[0]
+		if e.events[root].cancel {
+			e.release(e.pop())
 			continue
 		}
-		if ev.at > t {
+		if e.events[root].at > t {
 			break
 		}
-		heap.Pop(&e.queue)
+		idx := e.pop()
+		ev := &e.events[idx]
 		e.now = ev.at
 		e.steps++
 		fn := ev.fn
-		e.release(ev)
+		e.release(idx)
 		fn()
 	}
 	if e.now < t {
@@ -231,5 +284,5 @@ func (e *Engine) RunSteps(n int) int {
 }
 
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine(now=%v pending=%d)", e.now, len(e.queue))
+	return fmt.Sprintf("sim.Engine(now=%v pending=%d)", e.now, len(e.heap))
 }
