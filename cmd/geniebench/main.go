@@ -13,6 +13,7 @@
 //	geniebench -nocache     # disable the measurement memo
 //	geniebench -norecycle   # disable testbed recycling
 //	geniebench -bigsweep    # million-point analytic sweep + seeded sim spot checks
+//	geniebench -cluster     # sharded multi-host benchmarks: incast determinism + ring self-speedup
 //	geniebench -dataplane bytes  # materialize payload bytes (default: symbolic)
 //	geniebench -faults seed=1,drop=0.25,corrupt=0.1  # chaos mode (see below)
 //	geniebench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -28,6 +29,18 @@
 // (default 1e-9) or, when -minspeedup is set, if the analytic path is
 // not at least that many times faster per point than the simulator.
 // The same -sweepseed always selects the same spot-check set.
+//
+// Cluster mode (-cluster) exercises the sharded parallel engine: a
+// 64-host incast (every host sends at one receiver through the switch
+// fabric) runs at several worker counts (-clusterworkers, default
+// 1,4,GOMAXPROCS) and the full delivery digest — every message's
+// arrival time, length, payload checksum, plus per-host adapter and
+// framework counters — must be byte-identical at all of them; then a
+// ring halo exchange on the materialized bytes plane measures the
+// engine's self-speedup over its own serial execution. -json writes
+// both reports (CI stores it as BENCH_pr7.json); the exit status is
+// nonzero on any digest divergence, or when -minclusterspeedup is set
+// and the best ring self-speedup falls short of it.
 //
 // Chaos mode (-faults) runs reliable transfers across every buffering
 // scheme and semantics family under the given seeded fault script and
@@ -212,6 +225,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"bigsweep: exit nonzero if the worst spot-check relative error exceeds this")
 	minSpeedup := fs.Float64("minspeedup", 0,
 		"bigsweep: exit nonzero if analytic/simulated per-point speedup falls below this (0 = no check)")
+	cluster := fs.Bool("cluster", false,
+		"run the sharded multi-host benchmarks: incast determinism + ring self-speedup")
+	clusterHosts := fs.Int("clusterhosts", 64,
+		"cluster: incast host count (1 receiver + N-1 senders)")
+	clusterRounds := fs.Int("clusterrounds", 4,
+		"cluster: lockstep send/drain rounds per workload")
+	clusterBytes := fs.Int("clusterbytes", 8192,
+		"cluster: incast message payload size in bytes")
+	clusterWorkers := fs.String("clusterworkers", "",
+		"cluster: comma-separated worker counts to compare (default 1,4,GOMAXPROCS)")
+	minClusterSpeedup := fs.Float64("minclusterspeedup", 0,
+		"cluster: exit nonzero if the best ring self-speedup falls below this (0 = no gate)")
 	faultsFlag := fs.String("faults", "",
 		"chaos mode: seeded fault spec, e.g. seed=1,drop=0.25,dup=0.1,reorder=0.1,corrupt=0.05,allocfail=0.02,pooldeny=0.1")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this path")
@@ -263,6 +288,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *faultsFlag != "" {
 		return runChaos(spec, stdout, stderr)
+	}
+
+	if *cluster {
+		if *clusterHosts < 2 {
+			return usageErr("-clusterhosts must be at least 2, got %d", *clusterHosts)
+		}
+		return runCluster(clusterOptions{
+			hosts:      *clusterHosts,
+			rounds:     *clusterRounds,
+			msgBytes:   *clusterBytes,
+			workers:    *clusterWorkers,
+			minSpeedup: *minClusterSpeedup,
+			jsonPath:   *jsonPath,
+		}, stdout, stderr)
 	}
 
 	if *cpuprofile != "" {

@@ -75,15 +75,17 @@ type Testbed struct {
 	inj *faults.Injector // shared by both hosts; nil when faults are off
 }
 
-// NewTestbed builds the two-machine setup.
-func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+// normalizeTestbedConfig validates sizes and fills defaults. Testbed
+// and Cluster share it, so a cluster host is configured exactly like a
+// pairwise one.
+func normalizeTestbedConfig(cfg TestbedConfig) (TestbedConfig, error) {
 	if cfg.FramesPerHost < 0 || cfg.PoolPages < 0 || cfg.OutboardKB < 0 ||
 		cfg.MTU < 0 || cfg.OverlayOff < 0 {
-		return nil, fmt.Errorf("core: negative testbed size (frames %d, pool %d, outboard %d KB, mtu %d, overlay off %d)",
+		return cfg, fmt.Errorf("core: negative testbed size (frames %d, pool %d, outboard %d KB, mtu %d, overlay off %d)",
 			cfg.FramesPerHost, cfg.PoolPages, cfg.OutboardKB, cfg.MTU, cfg.OverlayOff)
 	}
 	if err := cfg.Faults.Validate(); err != nil {
-		return nil, fmt.Errorf("core: testbed faults: %w", err)
+		return cfg, fmt.Errorf("core: testbed faults: %w", err)
 	}
 	if cfg.Model == nil {
 		cfg.Model = cost.Baseline()
@@ -103,47 +105,58 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	if cfg.Plane == nil {
 		cfg.Plane = mem.Bytes
 	}
+	return cfg, nil
+}
+
+// buildHost assembles one machine — physical memory, VM, adapter,
+// Genie — on the given engine. cfg must be normalized. The host is not
+// yet attached to any link or fabric.
+func buildHost(name string, eng *sim.Engine, cfg TestbedConfig) (*Host, error) {
+	pm := mem.NewWithPlane(cfg.FramesPerHost, cfg.Model.Platform.PageSize, cfg.Plane)
+	sys := vm.NewSystem(pm)
+	if cfg.DemandPaging {
+		sys.EnableDemandPaging(0)
+	}
+	nicCfg := netsim.NICConfig{
+		Name:       name,
+		Buffering:  cfg.Buffering,
+		OverlayOff: cfg.OverlayOff,
+		MTU:        cfg.MTU,
+	}
+	switch cfg.Buffering {
+	case netsim.Pooled:
+		pool, err := netsim.NewOverlayPool(pm, cfg.PoolPages)
+		if err != nil {
+			return nil, err
+		}
+		nicCfg.Pool = pool
+	case netsim.OutboardBuffering:
+		nicCfg.Outboard = netsim.NewOutboardMemory(cfg.OutboardKB * 1024)
+	}
+	nic, err := netsim.NewNIC(eng, nicCfg)
+	if err != nil {
+		return nil, err
+	}
+	g, err := NewGenie(name, eng, cfg.Model, sys, nic, cfg.Genie)
+	if err != nil {
+		return nil, err
+	}
+	return &Host{Name: name, Phys: pm, Sys: sys, NIC: nic, Genie: g}, nil
+}
+
+// NewTestbed builds the two-machine setup.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	cfg, err := normalizeTestbedConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
 	eng := sim.New()
 	tb := &Testbed{Eng: eng, Model: cfg.Model, cfg: cfg}
 
-	build := func(name string) (*Host, error) {
-		pm := mem.NewWithPlane(cfg.FramesPerHost, cfg.Model.Platform.PageSize, cfg.Plane)
-		sys := vm.NewSystem(pm)
-		if cfg.DemandPaging {
-			sys.EnableDemandPaging(0)
-		}
-		nicCfg := netsim.NICConfig{
-			Name:       name,
-			Buffering:  cfg.Buffering,
-			OverlayOff: cfg.OverlayOff,
-			MTU:        cfg.MTU,
-		}
-		switch cfg.Buffering {
-		case netsim.Pooled:
-			pool, err := netsim.NewOverlayPool(pm, cfg.PoolPages)
-			if err != nil {
-				return nil, err
-			}
-			nicCfg.Pool = pool
-		case netsim.OutboardBuffering:
-			nicCfg.Outboard = netsim.NewOutboardMemory(cfg.OutboardKB * 1024)
-		}
-		nic, err := netsim.NewNIC(eng, nicCfg)
-		if err != nil {
-			return nil, err
-		}
-		g, err := NewGenie(name, eng, cfg.Model, sys, nic, cfg.Genie)
-		if err != nil {
-			return nil, err
-		}
-		return &Host{Name: name, Phys: pm, Sys: sys, NIC: nic, Genie: g}, nil
-	}
-
-	var err error
-	if tb.A, err = build("hostA"); err != nil {
+	if tb.A, err = buildHost("hostA", eng, cfg); err != nil {
 		return nil, fmt.Errorf("core: testbed host A: %w", err)
 	}
-	if tb.B, err = build("hostB"); err != nil {
+	if tb.B, err = buildHost("hostB", eng, cfg); err != nil {
 		return nil, fmt.Errorf("core: testbed host B: %w", err)
 	}
 	base := cfg.Model.Base()

@@ -250,21 +250,28 @@ func TestCacheDistinguishesSetups(t *testing.T) {
 func TestRecycleCounters(t *testing.T) {
 	withPerfRegime(t, false, true, 1, func() {
 		lengths := []int{4096, 8192, 12288, 16384}
-		for _, b := range lengths {
-			if _, err := Measure(Setup{Scheme: netsim.EarlyDemux}, core.Share, b); err != nil {
-				t.Fatal(err)
+		// A GC cycle between points can clear the free list, so a sweep
+		// may legitimately build all its testbeds fresh; retry a few
+		// times before declaring recycling broken.
+		for attempt := 0; attempt < 5; attempt++ {
+			ResetPerf()
+			for _, b := range lengths {
+				if _, err := Measure(Setup{Scheme: netsim.EarlyDemux}, core.Share, b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := Perf()
+			if got := st.TestbedsBuilt + st.TestbedsRecycled; got != uint64(len(lengths)) {
+				t.Errorf("built (%d) + recycled (%d) = %d, want one testbed per point (%d)",
+					st.TestbedsBuilt, st.TestbedsRecycled, got, len(lengths))
+			}
+			if st.ResetFailures != 0 {
+				t.Errorf("reset failures = %d, want 0", st.ResetFailures)
+			}
+			if st.TestbedsRecycled > 0 || t.Failed() {
+				return
 			}
 		}
-		st := Perf()
-		if got := st.TestbedsBuilt + st.TestbedsRecycled; got != uint64(len(lengths)) {
-			t.Errorf("built (%d) + recycled (%d) = %d, want one testbed per point (%d)",
-				st.TestbedsBuilt, st.TestbedsRecycled, got, len(lengths))
-		}
-		if st.TestbedsRecycled == 0 {
-			t.Error("no testbeds recycled across a serial sweep of identical configurations")
-		}
-		if st.ResetFailures != 0 {
-			t.Errorf("reset failures = %d, want 0", st.ResetFailures)
-		}
+		t.Error("no testbeds recycled across repeated serial sweeps of identical configurations")
 	})
 }

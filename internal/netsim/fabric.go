@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Fabric is a store-and-forward switch connecting N hosts, each with
+// its own NIC and (in cluster mode) its own engine shard. Where a Link
+// hardwires two peers, the fabric routes by virtual circuit: every
+// (source host, wire port) pair maps to one destination host, matching
+// the ATM model where a port number names a connection, not a machine.
+//
+// A transmitted frame serializes on the sender's NIC exactly as on a
+// Link and reaches the switch after the fixed wire latency. The switch
+// then forwards it through the destination's egress port, which
+// serializes frames one at a time: concurrent senders converging on one
+// host (incast) queue behind each other on that port's busyUntil. The
+// egress state lives on the destination's shard and is only touched by
+// events running there, so it needs no locking; contention is resolved
+// in the destination engine's deterministic (time, seq) order.
+//
+// Cross-shard hops go through the xpost function — sim.Cluster.Post in
+// parallel runs, or a direct ScheduleAt for a single shared engine —
+// always at times at least the fixed wire latency in the future, which
+// is exactly the cluster's conservative lookahead.
+type Fabric struct {
+	perByteUS float64
+	fixedUS   float64
+	ports     []*fabricPort
+	index     map[*NIC]int
+	routes    map[fabricKey]int
+	xpost     func(src, dst int, at sim.Time, fn func())
+}
+
+// fabricPort is one host's egress port on the switch. busyUntil is
+// owned by the destination shard: it is read and written only by
+// forwarding events executing on eng.
+type fabricPort struct {
+	nic       *NIC
+	eng       *sim.Engine
+	busyUntil sim.Time
+}
+
+// fabricKey identifies a virtual circuit endpoint: a wire port number
+// as seen from one source host.
+type fabricKey struct {
+	host int
+	port int
+}
+
+// NewFabric creates a switch with the given wire parameters. xpost
+// carries closures across shard boundaries; for a single shared engine
+// pass nil and the fabric schedules directly on the destination's
+// engine.
+func NewFabric(perByteUS, fixedUS float64, xpost func(src, dst int, at sim.Time, fn func())) *Fabric {
+	f := &Fabric{
+		perByteUS: perByteUS,
+		fixedUS:   fixedUS,
+		index:     make(map[*NIC]int),
+		routes:    make(map[fabricKey]int),
+	}
+	if xpost == nil {
+		xpost = func(src, dst int, at sim.Time, fn func()) {
+			f.ports[dst].eng.ScheduleAt(at, fn)
+		}
+	}
+	f.xpost = xpost
+	return f
+}
+
+// Attach connects a NIC (running on eng) to the switch and returns its
+// host index.
+func (f *Fabric) Attach(eng *sim.Engine, nic *NIC) int {
+	id := len(f.ports)
+	f.ports = append(f.ports, &fabricPort{nic: nic, eng: eng})
+	f.index[nic] = id
+	nic.att = f
+	return id
+}
+
+// Route installs the virtual circuit (srcHost, port) → dstHost. Both
+// directions of a channel need their own routes, one per wire port.
+func (f *Fabric) Route(srcHost, port, dstHost int) error {
+	if srcHost < 0 || srcHost >= len(f.ports) || dstHost < 0 || dstHost >= len(f.ports) {
+		return fmt.Errorf("netsim: fabric route %d→%d out of range (%d hosts)", srcHost, dstHost, len(f.ports))
+	}
+	f.routes[fabricKey{host: srcHost, port: port}] = dstHost
+	return nil
+}
+
+// HostOf returns the host index a NIC was attached under.
+func (f *Fabric) HostOf(nic *NIC) (int, bool) {
+	id, ok := f.index[nic]
+	return id, ok
+}
+
+func (f *Fabric) wirePerByteUS() float64 { return f.perByteUS }
+func (f *Fabric) wireFixedUS() float64   { return f.fixedUS }
+
+func (f *Fabric) transmitOK(src *NIC, port int) error {
+	s, ok := f.index[src]
+	if !ok {
+		return ErrNotAttached
+	}
+	if _, ok := f.routes[fabricKey{host: s, port: port}]; !ok {
+		return fmt.Errorf("%w: host %d port %d", ErrNoRoute, s, port)
+	}
+	return nil
+}
+
+func (f *Fabric) deliverFrame(src *NIC, port int, payload mem.Buf, at sim.Time) {
+	s := f.index[src]
+	d := f.routes[fabricKey{host: s, port: port}]
+	f.xpost(s, d, at, func() { f.forwardFrame(d, port, payload) })
+}
+
+func (f *Fabric) deliverFragment(src *NIC, frag fragment, at sim.Time) {
+	s := f.index[src]
+	d := f.routes[fabricKey{host: s, port: frag.port}]
+	f.xpost(s, d, at, func() { f.forwardFragment(d, frag) })
+}
+
+// forwardFrame runs on the destination shard when the frame reaches the
+// switch: it claims the egress port, serializes the frame through it,
+// and delivers to the NIC when the last byte has left the port.
+func (f *Fabric) forwardFrame(d, port int, payload mem.Buf) {
+	p := f.ports[d]
+	start := p.eng.Now().Max(p.busyUntil)
+	p.busyUntil = start.Add(sim.Duration(f.perByteUS * float64(payload.Len())))
+	nic := p.nic
+	p.eng.ScheduleAt(p.busyUntil, func() { nic.receive(port, payload) })
+}
+
+// forwardFragment is forwardFrame for one fragment of a datagram.
+func (f *Fabric) forwardFragment(d int, frag fragment) {
+	p := f.ports[d]
+	start := p.eng.Now().Max(p.busyUntil)
+	p.busyUntil = start.Add(sim.Duration(f.perByteUS * float64(frag.data.Len())))
+	nic := p.nic
+	p.eng.ScheduleAt(p.busyUntil, func() { nic.receiveFragment(frag) })
+}

@@ -58,8 +58,11 @@ func (n *NIC) TransmitDatagramBuf(port int, payload mem.Buf, onSent func()) erro
 	if n.mtu <= 0 || payload.Len() <= n.mtu {
 		return n.TransmitBuf(port, payload, onSent)
 	}
-	if n.link == nil {
+	if n.att == nil {
 		return ErrNotAttached
+	}
+	if err := n.att.transmitOK(n, port); err != nil {
+		return err
 	}
 	if payload.Len() > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payload.Len())
@@ -69,9 +72,8 @@ func (n *NIC) TransmitDatagramBuf(port int, payload mem.Buf, onSent func()) erro
 	payload = n.applyFault(payload)
 
 	start := n.eng.Now().Max(n.busyUntil)
-	peer := n.peer
 	total := payload.Len()
-	cellTime := n.link.perByteUS * 48 // per-fragment trailer/padding tax
+	cellTime := n.att.wirePerByteUS() * 48 // per-fragment trailer/padding tax
 
 	off := 0
 	for off < total {
@@ -80,7 +82,7 @@ func (n *NIC) TransmitDatagramBuf(port int, payload mem.Buf, onSent func()) erro
 			port: port, off: off, total: total, last: end == total,
 			data: payload.Slice(off, end-off),
 		}
-		wire := n.link.perByteUS * float64(frag.data.Len())
+		wire := n.att.wirePerByteUS() * float64(frag.data.Len())
 		if off > 0 {
 			wire += cellTime
 		}
@@ -89,10 +91,10 @@ func (n *NIC) TransmitDatagramBuf(port int, payload mem.Buf, onSent func()) erro
 				Cat: trace.CatNet, Name: "net.tx.frag", Port: port, Bytes: frag.data.Len()})
 		}
 		start = start.Add(sim.Duration(wire))
-		deliver := start.Add(sim.Duration(n.link.fixedUS))
+		deliver := start.Add(sim.Duration(n.att.wireFixedUS()))
 		if frag.last {
 			if n.tr != nil {
-				n.tr.Emit(trace.Event{At: start, Dur: sim.Duration(n.link.fixedUS), Phase: trace.Complete,
+				n.tr.Emit(trace.Event{At: start, Dur: sim.Duration(n.att.wireFixedUS()), Phase: trace.Complete,
 					Cat: trace.CatNet, Name: "net.deliver", Port: port, Bytes: total})
 			}
 			if onSent != nil {
@@ -102,10 +104,9 @@ func (n *NIC) TransmitDatagramBuf(port int, payload mem.Buf, onSent func()) erro
 		data, fragDeliver, survives, dup := n.injectWire(port, frag.data, deliver)
 		frag.data = data
 		if survives {
-			n.eng.ScheduleAt(fragDeliver, func() { peer.receiveFragment(frag) })
+			n.att.deliverFragment(n, frag, fragDeliver)
 			if dup {
-				n.eng.ScheduleAt(fragDeliver.Add(sim.Duration(n.link.fixedUS)),
-					func() { peer.receiveFragment(frag) })
+				n.att.deliverFragment(n, frag, fragDeliver.Add(sim.Duration(n.att.wireFixedUS())))
 			}
 		}
 		off = end

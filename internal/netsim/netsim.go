@@ -60,6 +60,7 @@ var (
 	ErrPoolDepleted  = errors.New("netsim: overlay pool depleted")
 	ErrOutboardFull  = errors.New("netsim: outboard memory full")
 	ErrNotAttached   = errors.New("netsim: NIC not attached to a link")
+	ErrNoRoute       = errors.New("netsim: no fabric route for port")
 )
 
 // DMATarget is anything the adapter can DMA arriving data into: an
@@ -118,12 +119,31 @@ type postedInput struct {
 	target DMATarget
 }
 
+// attachment is whatever wiring a NIC transmits through: a
+// point-to-point Link (two NICs, one engine — the paper's pairwise
+// testbed) or a switch Fabric (N hosts, possibly one engine shard
+// each). The NIC computes its own transmit serialization and the
+// absolute delivery time; the attachment resolves the destination from
+// (source NIC, port) and lands the frame there, crossing engine-shard
+// boundaries if it must.
+type attachment interface {
+	wirePerByteUS() float64
+	wireFixedUS() float64
+	// transmitOK reports whether src may send on port (a fabric needs a
+	// route; a link always can).
+	transmitOK(src *NIC, port int) error
+	// deliverFrame hands payload to the endpoint bound to (src, port)
+	// at absolute time at on the destination's clock.
+	deliverFrame(src *NIC, port int, payload mem.Buf, at sim.Time)
+	// deliverFragment does the same for one fragment of a datagram.
+	deliverFragment(src *NIC, f fragment, at sim.Time)
+}
+
 // NIC is a simulated network adapter.
 type NIC struct {
 	name      string
 	eng       *sim.Engine
-	link      *Link
-	peer      *NIC
+	att       attachment
 	buffering InputBuffering
 
 	pool       *OverlayPool
@@ -337,7 +357,7 @@ func (n *NIC) injectWire(port int, payload mem.Buf, deliver sim.Time) (mem.Buf, 
 	if n.inj.ReorderFrame() {
 		n.stats.WireReorders++
 		n.faultEvent("fault.reorder", port, payload.Len())
-		deliver = deliver.Add(sim.Duration(reorderDelayFactor * n.link.fixedUS))
+		deliver = deliver.Add(sim.Duration(reorderDelayFactor * n.att.wireFixedUS()))
 	}
 	dup := n.inj.DuplicateFrame()
 	if dup {
@@ -363,8 +383,11 @@ func (n *NIC) Transmit(port int, payload []byte, onSent func()) error {
 // an independent snapshot (all producers in this codebase hand those
 // out): delivery happens later on the simulated clock.
 func (n *NIC) TransmitBuf(port int, payload mem.Buf, onSent func()) error {
-	if n.link == nil {
+	if n.att == nil {
 		return ErrNotAttached
+	}
+	if err := n.att.transmitOK(n, port); err != nil {
+		return err
 	}
 	if payload.Len() > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payload.Len())
@@ -374,27 +397,26 @@ func (n *NIC) TransmitBuf(port int, payload mem.Buf, onSent func()) error {
 	n.stats.TxBytes += uint64(payload.Len())
 
 	start := n.eng.Now().Max(n.busyUntil)
-	wire := sim.Duration(n.link.perByteUS * float64(payload.Len()))
+	wire := sim.Duration(n.att.wirePerByteUS() * float64(payload.Len()))
 	n.busyUntil = start.Add(wire)
-	peer := n.peer
 
 	if n.tr != nil {
 		n.tr.Emit(trace.Event{At: start, Dur: wire, Phase: trace.Complete, Cat: trace.CatNet,
 			Name: "net.tx", Port: port, Bytes: payload.Len()})
-		n.tr.Emit(trace.Event{At: n.busyUntil, Dur: sim.Duration(n.link.fixedUS), Phase: trace.Complete,
+		n.tr.Emit(trace.Event{At: n.busyUntil, Dur: sim.Duration(n.att.wireFixedUS()), Phase: trace.Complete,
 			Cat: trace.CatNet, Name: "net.deliver", Port: port, Bytes: payload.Len()})
 	}
 	if onSent != nil {
 		n.eng.ScheduleAt(n.busyUntil, onSent)
 	}
-	deliver := n.busyUntil.Add(sim.Duration(n.link.fixedUS))
+	deliver := n.busyUntil.Add(sim.Duration(n.att.wireFixedUS()))
 	payload, deliver, survives, dup := n.injectWire(port, payload, deliver)
 	if !survives {
 		return nil
 	}
-	n.eng.ScheduleAt(deliver, func() { peer.receive(port, payload) })
+	n.att.deliverFrame(n, port, payload, deliver)
 	if dup {
-		n.eng.ScheduleAt(deliver.Add(sim.Duration(n.link.fixedUS)), func() { peer.receive(port, payload) })
+		n.att.deliverFrame(n, port, payload, deliver.Add(sim.Duration(n.att.wireFixedUS())))
 	}
 	return nil
 }
@@ -564,19 +586,20 @@ func (n *NIC) faultEvent(name string, port, bytes int) {
 	}
 }
 
-// Link is a full-duplex point-to-point connection between two NICs.
+// Link is a full-duplex point-to-point connection between two NICs on
+// one engine — the degenerate two-host attachment.
 type Link struct {
 	eng       *sim.Engine
 	perByteUS float64 // serialization cost, us per payload byte
 	fixedUS   float64 // propagation + device + interrupt + OS fixed path
+	a, b      *NIC
 }
 
 // NewLink creates a link with the given base-latency parameters (the
 // cost model's Base() linear terms) and attaches both NICs.
 func NewLink(eng *sim.Engine, perByteUS, fixedUS float64, a, b *NIC) *Link {
-	l := &Link{eng: eng, perByteUS: perByteUS, fixedUS: fixedUS}
-	a.link, b.link = l, l
-	a.peer, b.peer = b, a
+	l := &Link{eng: eng, perByteUS: perByteUS, fixedUS: fixedUS, a: a, b: b}
+	a.att, b.att = l, l
 	return l
 }
 
@@ -585,3 +608,25 @@ func (l *Link) PerByteUS() float64 { return l.perByteUS }
 
 // FixedUS returns the fixed delivery latency in microseconds.
 func (l *Link) FixedUS() float64 { return l.fixedUS }
+
+func (l *Link) wirePerByteUS() float64 { return l.perByteUS }
+func (l *Link) wireFixedUS() float64   { return l.fixedUS }
+
+func (l *Link) peerOf(src *NIC) *NIC {
+	if src == l.a {
+		return l.b
+	}
+	return l.a
+}
+
+func (l *Link) transmitOK(*NIC, int) error { return nil }
+
+func (l *Link) deliverFrame(src *NIC, port int, payload mem.Buf, at sim.Time) {
+	dst := l.peerOf(src)
+	l.eng.ScheduleAt(at, func() { dst.receive(port, payload) })
+}
+
+func (l *Link) deliverFragment(src *NIC, f fragment, at sim.Time) {
+	dst := l.peerOf(src)
+	l.eng.ScheduleAt(at, func() { dst.receiveFragment(f) })
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, 10, 1); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := NewCluster(4, 0, 1); err == nil {
+		t.Fatal("zero lookahead accepted")
+	}
+	if _, err := NewCluster(4, -5, 1); err == nil {
+		t.Fatal("negative lookahead accepted")
+	}
+	c, err := NewCluster(4, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 4 {
+		t.Fatalf("workers = %d, want clamp to 4 shards", c.Workers())
+	}
+}
+
+// clusterScript drives a seeded random cross-shard workload and returns
+// a log of every fired event as one string. Each shard runs a chain of
+// local events; some events post work to a random other shard at a
+// cross-shard delay of at least the lookahead. The log must be
+// identical at any worker count.
+func clusterScript(t *testing.T, shards, workers int, seed int64) string {
+	t.Helper()
+	const lookahead = Duration(130)
+	c, err := NewCluster(shards, lookahead, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs = make([][]string, shards)
+	var step func(shard, depth, stream int)
+	step = func(shard, depth, stream int) {
+		eng := c.Shard(shard)
+		logs[shard] = append(logs[shard], fmt.Sprintf("s%d d%d r%d @%v", shard, depth, stream, eng.Now()))
+		if depth >= 6 {
+			return
+		}
+		// Local follow-ups, deterministically derived from position.
+		rng := rand.New(rand.NewSource(seed + int64(shard*1000+depth*10+stream)))
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			d := Duration(rng.Intn(200))
+			eng.Schedule(d, func() { step(shard, depth+1, stream*10+i) })
+		}
+		// Cross-shard post at >= lookahead.
+		if rng.Intn(2) == 0 {
+			dst := rng.Intn(shards)
+			if dst != shard {
+				at := eng.Now().Add(lookahead + Duration(rng.Intn(300)))
+				c.Post(shard, dst, at, func() { step(dst, depth+1, stream*10+7) })
+			}
+		}
+	}
+	for s := 0; s < shards; s++ {
+		shard := s
+		c.Shard(shard).Schedule(Duration(shard), func() { step(shard, 0, 1) })
+	}
+	c.Run()
+	var sb strings.Builder
+	for s := range logs {
+		for _, line := range logs[s] {
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// TestClusterDeterministicAcrossWorkers runs the same seeded cross-shard
+// script serial and parallel; per-shard event logs (order and times)
+// must be byte-identical. Run under -race in CI this also exercises the
+// window barrier for data races.
+func TestClusterDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{1, 42, 7777} {
+		serial := clusterScript(t, 8, 1, seed)
+		for _, workers := range []int{2, 4, 8} {
+			if got := clusterScript(t, 8, workers, seed); got != serial {
+				t.Fatalf("seed %d: workers=%d log differs from serial", seed, workers)
+			}
+		}
+	}
+}
+
+// TestClusterCausalityCheck pins the conservative contract: a
+// cross-shard post landing inside the current window panics instead of
+// silently racing.
+func TestClusterCausalityCheck(t *testing.T) {
+	c, err := NewCluster(2, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shard(0).Schedule(10, func() {
+		// Claims only 20 < lookahead 100 of latency: violates the bound.
+		c.Post(0, 1, c.Shard(0).Now().Add(20), func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("causality violation did not panic")
+		}
+	}()
+	c.Run()
+}
+
+// TestClusterRepeatedRuns checks the app-time lockstep pattern: staged
+// posts between Run calls are applied unchecked, and Run can be called
+// repeatedly as quiescent phases alternate with event phases.
+func TestClusterRepeatedRuns(t *testing.T) {
+	c, err := NewCluster(3, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]string, 3)
+	for round := 0; round < 3; round++ {
+		r := round
+		for s := 0; s < 3; s++ {
+			shard := s
+			dst := (shard + 1) % 3
+			c.Post(shard, dst, c.Now().Add(1), func() {
+				got[dst] = append(got[dst], fmt.Sprintf("r%d->s%d", r, dst))
+			})
+		}
+		c.Run()
+	}
+	for s := 0; s < 3; s++ {
+		want := []string{
+			fmt.Sprintf("r0->s%d", s),
+			fmt.Sprintf("r1->s%d", s),
+			fmt.Sprintf("r2->s%d", s),
+		}
+		if len(got[s]) != len(want) {
+			t.Fatalf("shard %d log %v, want %v", s, got[s], want)
+		}
+		for i := range want {
+			if got[s][i] != want[i] {
+				t.Fatalf("shard %d log %v, want %v", s, got[s], want)
+			}
+		}
+	}
+}

@@ -60,8 +60,10 @@ type Engine struct {
 	now    Time
 	seq    uint64
 	events []event // arena; slots recycled through free
-	heap   []int32 // min-heap of arena indices, ordered by (at, seq)
+	heap   []int32 // fire heap: arena indices ordered by (at, seq)
 	free   []int32 // recycled slots, reused by ScheduleAt
+	w      wheel   // batched staging for near-future events (wheel.go)
+	far    []int32 // index heap for events beyond the wheel horizon
 	steps  uint64
 }
 
@@ -69,6 +71,7 @@ type Engine struct {
 func New() *Engine {
 	e := &Engine{}
 	e.Reserve(initialQueueCap)
+	e.w.init()
 	return e
 }
 
@@ -91,8 +94,9 @@ func (e *Engine) Reserve(n int) {
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events waiting to fire (including
-// cancelled events not yet discarded).
-func (e *Engine) Pending() int { return len(e.heap) }
+// cancelled events not yet discarded), across the fire heap, the timer
+// wheel, and the far heap.
+func (e *Engine) Pending() int { return len(e.events) - len(e.free) }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
@@ -145,6 +149,12 @@ func (e *Engine) siftDown(i int) {
 	e.events[idx].pos = int32(i)
 }
 
+// heapPush appends an arena index to the fire heap and restores order.
+func (e *Engine) heapPush(idx int32) {
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+}
+
 // pop removes and returns the arena index of the earliest heap entry.
 func (e *Engine) pop() int32 {
 	idx := e.heap[0]
@@ -188,9 +198,9 @@ func (e *Engine) ScheduleAt(t Time, fn func()) Handle {
 	ev.at, ev.fn, ev.cancel = t, fn, false
 	ev.seq = e.seq
 	e.seq++
-	e.heap = append(e.heap, idx)
-	e.siftUp(len(e.heap) - 1)
-	return Handle{e: e, idx: idx, gen: ev.gen, at: t}
+	gen := ev.gen
+	e.place(idx, t)
+	return Handle{e: e, idx: idx, gen: gen, at: t}
 }
 
 // release recycles a popped slot into the free list. Bumping the
@@ -215,13 +225,35 @@ func (e *Engine) Reset() {
 		e.heap = e.heap[:n-1]
 		e.release(idx)
 	}
+	for n := len(e.far); n > 0; n = len(e.far) {
+		idx := e.far[n-1]
+		e.far = e.far[:n-1]
+		e.release(idx)
+	}
+	if e.w.l0n > 0 {
+		for s := range e.w.l0 {
+			for _, idx := range e.w.l0[s] {
+				e.release(idx)
+			}
+			e.w.l0[s] = e.w.l0[s][:0]
+		}
+	}
+	if e.w.l1n > 0 {
+		for s := range e.w.l1 {
+			for _, idx := range e.w.l1[s] {
+				e.release(idx)
+			}
+			e.w.l1[s] = e.w.l1[s][:0]
+		}
+	}
+	e.w.l0n, e.w.l1n, e.w.cursor = 0, 0, 0
 	e.now, e.seq, e.steps = 0, 0, 0
 }
 
 // Step executes the single earliest pending event, advancing the clock to
 // its time. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
+	for len(e.heap) > 0 || e.prime() {
 		idx := e.pop()
 		ev := &e.events[idx]
 		if ev.cancel {
@@ -251,7 +283,7 @@ func (e *Engine) Run() Time {
 // Cancelled events encountered on the way are discarded in a single pass:
 // each one is popped and recycled exactly once.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.heap) > 0 {
+	for len(e.heap) > 0 || e.prime() {
 		root := e.heap[0]
 		if e.events[root].cancel {
 			e.release(e.pop())
@@ -283,6 +315,50 @@ func (e *Engine) RunSteps(n int) int {
 	return ran
 }
 
+// RunBefore executes every event with time strictly before t, advancing
+// the clock only as events fire — unlike RunUntil, it does not move the
+// clock to t afterward. It returns the number of events executed. This
+// is the shard-advance primitive for conservative parallel simulation:
+// a Cluster runs each shard up to (but excluding) the window bound,
+// then exchanges cross-shard messages that land at or after it.
+func (e *Engine) RunBefore(t Time) int {
+	ran := 0
+	for len(e.heap) > 0 || e.prime() {
+		root := e.heap[0]
+		if e.events[root].cancel {
+			e.release(e.pop())
+			continue
+		}
+		if e.events[root].at >= t {
+			break
+		}
+		idx := e.pop()
+		ev := &e.events[idx]
+		e.now = ev.at
+		e.steps++
+		fn := ev.fn
+		e.release(idx)
+		fn()
+		ran++
+	}
+	return ran
+}
+
+// NextEventAt reports the time of the earliest live pending event.
+// Cancelled events encountered at the front are discarded on the way.
+// The second result is false when no live events remain.
+func (e *Engine) NextEventAt() (Time, bool) {
+	for len(e.heap) > 0 || e.prime() {
+		root := e.heap[0]
+		if e.events[root].cancel {
+			e.release(e.pop())
+			continue
+		}
+		return e.events[root].at, true
+	}
+	return 0, false
+}
+
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine(now=%v pending=%d)", e.now, len(e.heap))
+	return fmt.Sprintf("sim.Engine(now=%v pending=%d)", e.now, e.Pending())
 }
