@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,39 @@ import (
 
 	"repro/internal/experiments"
 )
+
+// runClusterCmd parses the cluster subcommand's flags. The canonical
+// spellings are -hosts/-rounds/-bytes/-workers/-minspeedup; the
+// historical -cluster* prefixed names remain registered as aliases.
+func runClusterCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("geniebench cluster", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var opts clusterOptions
+	fs.IntVar(&opts.hosts, "hosts", 64, "incast host count (1 receiver + N-1 senders)")
+	fs.IntVar(&opts.hosts, "clusterhosts", 64, "alias for -hosts")
+	fs.IntVar(&opts.rounds, "rounds", 4, "lockstep send/drain rounds per workload")
+	fs.IntVar(&opts.rounds, "clusterrounds", 4, "alias for -rounds")
+	fs.IntVar(&opts.msgBytes, "bytes", 8192, "incast message payload size in bytes")
+	fs.IntVar(&opts.msgBytes, "clusterbytes", 8192, "alias for -bytes")
+	fs.StringVar(&opts.workers, "workers", "",
+		"comma-separated worker counts to compare (default 1,4,GOMAXPROCS)")
+	fs.StringVar(&opts.workers, "clusterworkers", "", "alias for -workers")
+	fs.Float64Var(&opts.minSpeedup, "minspeedup", 0,
+		"exit nonzero if the best ring self-speedup falls below this (0 = no gate)")
+	fs.Float64Var(&opts.minSpeedup, "minclusterspeedup", 0, "alias for -minspeedup")
+	fs.StringVar(&opts.jsonPath, "json", "", "write both reports as JSON to this path")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the harness (0 = leave default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *parallel > 0 {
+		experiments.SetParallelism(*parallel)
+	}
+	if opts.hosts < 2 {
+		return usageErrf(fs, stderr, "-clusterhosts must be at least 2, got %d", opts.hosts)
+	}
+	return runCluster(opts, stdout, stderr)
+}
 
 // clusterOptions carries the -cluster flag settings into runCluster.
 type clusterOptions struct {

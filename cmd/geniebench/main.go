@@ -1,592 +1,157 @@
-// Command geniebench regenerates every table and figure of the paper's
-// evaluation and prints them next to the published values.
+// Command geniebench regenerates the paper's evaluation and runs the
+// repo's benchmark modes, one subcommand per mode:
 //
-// Usage:
+//	geniebench [sweep]      # figures, tables, ablations (the default)
+//	geniebench bigsweep     # million-point analytic sweep + seeded sim spot checks
+//	geniebench cluster      # sharded multi-host benchmarks: incast determinism + ring self-speedup
+//	geniebench chaos        # fault-injection recovery matrix
+//	geniebench workload     # closed-loop backpressure study: semantics x depth x load
 //
-//	geniebench              # everything
-//	geniebench -figures     # Figures 3-7 and the outboard prediction
-//	geniebench -tables      # Tables 1, 5, 6, 7, 8 and the OC-12 prediction
-//	geniebench -ablations   # ablations of Genie's design choices
-//	geniebench -parallel 4  # fan measurement points across 4 workers
-//	geniebench -json out.json  # machine-readable results + wall-clock
-//	geniebench -trace out.json # traced exemplar per figure (chrome://tracing)
-//	geniebench -nocache     # disable the measurement memo
-//	geniebench -norecycle   # disable testbed recycling
-//	geniebench -bigsweep    # million-point analytic sweep + seeded sim spot checks
-//	geniebench -cluster     # sharded multi-host benchmarks: incast determinism + ring self-speedup
-//	geniebench -dataplane bytes  # materialize payload bytes (default: symbolic)
-//	geniebench -faults seed=1,drop=0.25,corrupt=0.1  # chaos mode (see below)
-//	geniebench -cpuprofile cpu.pprof -memprofile mem.pprof
+// Every subcommand takes its own flags (see `geniebench <cmd> -h`); all
+// of them share -json <path> (machine-readable report) and -parallel N
+// (harness worker goroutines). The historical spellings `-bigsweep`,
+// `-cluster`, and `-faults <spec>` still work as aliases for their
+// subcommands and print a deprecation note on stderr.
 //
-// Big-sweep mode (-bigsweep) evaluates the full cross-product of
-// platforms x networks x schemes x semantics x offsets x lengths —
-// about a million points at the default -sweepstride 47 — through the
-// closed-form analytic evaluator, while a seeded pseudo-random subset
-// of points (-spotcheck, default one in 4096) is re-run through the
-// discrete-event simulator as oracle. The run reports points/sec, the
-// spot-check count, and the worst analytic-vs-simulated relative
-// error; the exit status is nonzero if that error exceeds -errbound
-// (default 1e-9) or, when -minspeedup is set, if the analytic path is
-// not at least that many times faster per point than the simulator.
-// The same -sweepseed always selects the same spot-check set.
+// # sweep
 //
-// Cluster mode (-cluster) exercises the sharded parallel engine: a
-// 64-host incast (every host sends at one receiver through the switch
-// fabric) runs at several worker counts (-clusterworkers, default
-// 1,4,GOMAXPROCS) and the full delivery digest — every message's
-// arrival time, length, payload checksum, plus per-host adapter and
-// framework counters — must be byte-identical at all of them; then a
-// ring halo exchange on the materialized bytes plane measures the
-// engine's self-speedup over its own serial execution. -json writes
-// both reports (CI stores it as BENCH_pr7.json); the exit status is
-// nonzero on any digest divergence, or when -minclusterspeedup is set
-// and the best ring self-speedup falls short of it.
+// Regenerates every table and figure of the paper's evaluation next to
+// the published values. -figures/-tables/-ablations restrict the
+// sections; -csv writes figure CSVs; -trace captures one traced
+// exemplar per figure as Chrome trace_event JSON. Measurement points
+// fan out across -parallel workers (any count produces byte-identical
+// output), identical points are memoized, and testbeds are recycled;
+// -nocache and -norecycle restore the cold path. -dataplane selects
+// symbolic or materialized payload bytes — output is identical either
+// way.
 //
-// Chaos mode (-faults) runs reliable transfers across every buffering
-// scheme and semantics family under the given seeded fault script and
-// prints the recovery report: injected drops, duplicates, reorderings,
-// corruptions, allocation failures, and pool denials must all be
-// recovered (exactly-once, integrity-checked delivery) and every
-// testbed must conserve its resources. The exit status is nonzero if
-// any point violated recovery or conservation. The same spec always
-// replays the same faults.
+// # bigsweep
 //
-// Measurement points fan out across -parallel worker goroutines
-// (default: GOMAXPROCS). -parallel 1 reproduces the serial path
-// bit-for-bit; any worker count produces identical output. Identical
-// points across generators are simulated once and memoized, and
-// testbeds are recycled across points; -nocache and -norecycle restore
-// the cold path — output is byte-identical either way, only wall-clock
-// changes. The end-of-run summary (stderr) and the -json report record
-// cache hits/misses, single-flight waits, and testbeds recycled vs
-// built.
+// Evaluates the full cross-product of platforms x networks x schemes x
+// semantics x offsets x lengths — about a million points at the default
+// -stride 47 — through the closed-form analytic evaluator, while a
+// seeded pseudo-random subset (-spotcheck, default one in 4096) re-runs
+// through the discrete-event simulator as oracle. Exit status is
+// nonzero if the worst relative error exceeds -errbound, or when
+// -minspeedup is set and the analytic path is not at least that many
+// times faster per point. The same -seed always selects the same
+// spot-check set.
 //
-// The -dataplane flag selects how the simulator represents payload
-// contents: "symbolic" (the default) carries provenance descriptors and
-// turns every in-simulator copy into an O(#extents) splice; "bytes"
-// materializes every page. Figures and tables are byte-identical on
-// either plane — only the harness's own wall-clock differs.
+// # cluster
+//
+// Exercises the sharded parallel engine: a -hosts incast runs at
+// several worker counts (-workers, default 1,4,GOMAXPROCS) and the full
+// delivery digest must be byte-identical at all of them; then a ring
+// halo exchange measures the engine's self-speedup over its own serial
+// execution. Exit status is nonzero on any digest divergence, or when
+// -minspeedup is set and the best ring self-speedup falls short.
+//
+// # chaos
+//
+// Runs reliable transfers across every buffering scheme and semantics
+// family under the seeded fault script of -spec and prints the recovery
+// report: injected drops, duplicates, reorderings, corruptions,
+// allocation failures, and pool denials must all be recovered and every
+// testbed must conserve its resources. Exit status is nonzero if any
+// point violated recovery or conservation.
+//
+// # workload
+//
+// Drives the closed-loop backpressure study (see internal/workload):
+// pipelined clients against a server (-scenario fileserver), a
+// fixed-bitrate stream through a bounded queue (stream), or a
+// scatter-gather fan-out (fanout), sweeping buffering semantics x queue
+// depth x offered load and locating each semantics' rule-3 transition —
+// the smallest depth whose heaviest-load point is no longer bimodal.
+// The sweep runs at every -workers count and the digests must match
+// bit for bit; exit status is nonzero on divergence, or when
+// -requiretransition names a semantics whose transition is not finite.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
-	"runtime"
-	"runtime/pprof"
-	"time"
-
-	"repro/internal/core"
-	"repro/internal/cost"
-	"repro/internal/experiments"
-	"repro/internal/faults"
-	"repro/internal/mem"
-	"repro/internal/netsim"
-	"repro/internal/trace"
+	"strings"
 )
-
-// generator is one named figure or table producer.
-type generator struct {
-	name    string
-	section string // "figures", "tables", or "ablations"
-	fig     func() (experiments.Figure, error)
-	tab     func() (experiments.Table, error)
-}
-
-// result is one generator's outcome, as written to the -json report.
-type result struct {
-	Name    string              `json:"name"`
-	Section string              `json:"section"`
-	WallMS  float64             `json:"wall_ms"`
-	Figure  *experiments.Figure `json:"figure,omitempty"`
-	Table   *experiments.Table  `json:"table,omitempty"`
-}
-
-// report is the top-level -json document, written so future PRs can
-// track both the reproduced numbers and the harness's own wall-clock.
-type report struct {
-	Parallelism int                   `json:"parallelism"`
-	GOMAXPROCS  int                   `json:"gomaxprocs"`
-	Cache       bool                  `json:"cache"`
-	Recycle     bool                  `json:"recycle"`
-	DataPlane   string                `json:"data_plane"`
-	TotalWallMS float64               `json:"total_wall_ms"`
-	Perf        experiments.PerfStats `json:"perf"`
-	Results     []result              `json:"results"`
-}
-
-// generators lists every figure, table, and ablation in print order.
-func generators() []generator {
-	fig := func(name string, f func(experiments.Setup) (experiments.Figure, error)) generator {
-		return generator{name: name, section: "figures",
-			fig: func() (experiments.Figure, error) { return f(experiments.Setup{}) }}
-	}
-	tabS := func(name, section string, f func(experiments.Setup) (experiments.Table, error)) generator {
-		return generator{name: name, section: section,
-			tab: func() (experiments.Table, error) { return f(experiments.Setup{}) }}
-	}
-	tab := func(name, section string, f func() (experiments.Table, error)) generator {
-		return generator{name: name, section: section, tab: f}
-	}
-	return []generator{
-		fig("Figure 3", experiments.Figure3),
-		fig("Figure 4", experiments.Figure4),
-		fig("Figure 5", experiments.Figure5),
-		fig("Figure 6", experiments.Figure6),
-		fig("Figure 7", experiments.Figure7),
-		fig("Outboard (predicted)", experiments.FigureOutboard),
-		tabS("Figure 3 (throughput)", "figures", experiments.Figure3Throughput),
-		tab("Table 1", "tables", func() (experiments.Table, error) { return experiments.Table1(), nil }),
-		tab("Table 5", "tables", func() (experiments.Table, error) { return experiments.Table5(), nil }),
-		tabS("Table 6", "tables", experiments.Table6),
-		tabS("Table 7", "tables", experiments.Table7),
-		tab("Table 8", "tables", experiments.Table8),
-		tab("OC-12 prediction", "tables", experiments.TableOC12),
-		tab("Throughput (OC-3)", "tables", func() (experiments.Table, error) {
-			return experiments.TableThroughput(cost.CreditNetOC3)
-		}),
-		tab("Throughput (OC-12)", "tables", func() (experiments.Table, error) {
-			return experiments.TableThroughput(cost.CreditNetOC12)
-		}),
-		tab("Ablation: wiring", "ablations", experiments.AblationWiring),
-		tab("Ablation: alignment", "ablations", experiments.AblationAlignment),
-		tab("Ablation: thresholds", "ablations", experiments.AblationThresholds),
-		tab("Ablation: reverse copyout", "ablations", experiments.AblationReverseCopyout),
-		tab("Ablation: output protection", "ablations", experiments.AblationOutputProtection),
-		tab("Ablation: checksum", "ablations", experiments.AblationChecksum),
-		tab("Ablation: pageout", "ablations", experiments.AblationPageout),
-	}
-}
-
-// run executes one generator, timing its wall clock.
-func (g generator) run() (result, error) {
-	r := result{Name: g.name, Section: g.section}
-	start := time.Now()
-	switch {
-	case g.fig != nil:
-		f, err := g.fig()
-		if err != nil {
-			return result{}, fmt.Errorf("%s: %w", g.name, err)
-		}
-		r.Figure = &f
-	default:
-		t, err := g.tab()
-		if err != nil {
-			return result{}, fmt.Errorf("%s: %w", g.name, err)
-		}
-		r.Table = &t
-	}
-	r.WallMS = float64(time.Since(start).Microseconds()) / 1000
-	return r, nil
-}
-
-func (r result) render(w io.Writer) {
-	if r.Figure != nil {
-		r.Figure.Render(w)
-	} else if r.Table != nil {
-		r.Table.Render(w)
-	}
-	fmt.Fprintln(w)
-}
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-// run is the testable entry point: flag validation errors print usage
-// and return 2, runtime failures return 1, success returns 0.
+// subcommands lists the dispatch table in help order.
+var subcommands = []struct {
+	name string
+	desc string
+	cmd  func(args []string, stdout, stderr io.Writer) int
+}{
+	{"sweep", "regenerate the paper's figures, tables, and ablations (default)", runSweepCmd},
+	{"bigsweep", "million-point analytic sweep with seeded simulated spot checks", runBigSweepCmd},
+	{"cluster", "sharded multi-host benchmarks: incast determinism + ring self-speedup", runClusterCmd},
+	{"chaos", "fault-injection recovery matrix", runChaosCmd},
+	{"workload", "closed-loop backpressure study: semantics x depth x load", runWorkloadCmd},
+}
+
+// run is the testable entry point: flag or usage errors return 2,
+// runtime failures 1, success 0.
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("geniebench", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	figures := fs.Bool("figures", false, "regenerate the figures only")
-	tables := fs.Bool("tables", false, "regenerate the tables only")
-	ablations := fs.Bool("ablations", false, "run the ablations only")
-	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
-		"worker goroutines per sweep (1 = serial)")
-	jsonPath := fs.String("json", "",
-		"write every figure/table plus wall-clock per generator as JSON to this path")
-	nocache := fs.Bool("nocache", false,
-		"disable the cross-generator measurement memo (output is identical, only slower)")
-	norecycle := fs.Bool("norecycle", false,
-		"disable testbed recycling across measurement points")
-	dataplane := fs.String("dataplane", "symbolic",
-		"payload representation inside the simulator: symbolic or bytes (output is identical)")
-	bigsweep := fs.Bool("bigsweep", false,
-		"run the million-point analytic sweep with seeded simulated spot checks")
-	sweepStride := fs.Int("sweepstride", 47,
-		"bigsweep length stride over [1, 65535] (larger = fewer points)")
-	sweepSeed := fs.Uint64("sweepseed", 1,
-		"bigsweep spot-check selection seed (same seed = same spot-check set)")
-	spotCheck := fs.Int("spotcheck", 4096,
-		"bigsweep: expected points per simulated spot check (negative disables)")
-	errBound := fs.Float64("errbound", 1e-9,
-		"bigsweep: exit nonzero if the worst spot-check relative error exceeds this")
-	minSpeedup := fs.Float64("minspeedup", 0,
-		"bigsweep: exit nonzero if analytic/simulated per-point speedup falls below this (0 = no check)")
-	cluster := fs.Bool("cluster", false,
-		"run the sharded multi-host benchmarks: incast determinism + ring self-speedup")
-	clusterHosts := fs.Int("clusterhosts", 64,
-		"cluster: incast host count (1 receiver + N-1 senders)")
-	clusterRounds := fs.Int("clusterrounds", 4,
-		"cluster: lockstep send/drain rounds per workload")
-	clusterBytes := fs.Int("clusterbytes", 8192,
-		"cluster: incast message payload size in bytes")
-	clusterWorkers := fs.String("clusterworkers", "",
-		"cluster: comma-separated worker counts to compare (default 1,4,GOMAXPROCS)")
-	minClusterSpeedup := fs.Float64("minclusterspeedup", 0,
-		"cluster: exit nonzero if the best ring self-speedup falls below this (0 = no gate)")
-	faultsFlag := fs.String("faults", "",
-		"chaos mode: seeded fault spec, e.g. seed=1,drop=0.25,dup=0.1,reorder=0.1,corrupt=0.05,allocfail=0.02,pooldeny=0.1")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this path")
-	memprofile := fs.String("memprofile", "", "write a heap profile to this path")
-	tracePath := fs.String("trace", "",
-		"capture one traced exemplar transfer per figure as Chrome trace_event JSON at this path")
-	if err := fs.Parse(args); err != nil {
-		return 2 // flag package already printed the error and usage
+	name, rest, note := dispatch(args)
+	if note != "" {
+		fmt.Fprintln(stderr, note)
 	}
-	usageErr := func(format string, a ...any) int {
-		fmt.Fprintf(stderr, "geniebench: "+format+"\n", a...)
-		fs.Usage()
-		return 2
-	}
-	if *parallel < 1 {
-		return usageErr("-parallel must be at least 1, got %d", *parallel)
-	}
-	plane, err := mem.PlaneByName(*dataplane)
-	if err != nil {
-		return usageErr("-dataplane: %v", err)
-	}
-	var spec faults.Spec
-	if *faultsFlag != "" {
-		spec, err = faults.ParseSpec(*faultsFlag)
-		if err != nil {
-			return usageErr("-faults: %v", err)
-		}
-		if err := spec.Validate(); err != nil {
-			return usageErr("-faults: %v", err)
-		}
-		if !spec.Enabled() {
-			return usageErr("-faults: spec %q injects nothing (set a seed and at least one rate)", *faultsFlag)
+	for _, sc := range subcommands {
+		if sc.name == name {
+			return sc.cmd(rest, stdout, stderr)
 		}
 	}
-	if *sweepStride < 1 {
-		return usageErr("-sweepstride must be at least 1, got %d", *sweepStride)
-	}
-	all := !*figures && !*tables && !*ablations && *tracePath == ""
-
-	experiments.SetParallelism(*parallel)
-	experiments.SetCaching(!*nocache)
-	experiments.SetRecycling(!*norecycle)
-	experiments.SetDataPlane(plane)
-
-	fail := func(err error) int {
-		fmt.Fprintln(stderr, "geniebench:", err)
-		return 1
-	}
-
-	if *faultsFlag != "" {
-		return runChaos(spec, stdout, stderr)
-	}
-
-	if *cluster {
-		if *clusterHosts < 2 {
-			return usageErr("-clusterhosts must be at least 2, got %d", *clusterHosts)
-		}
-		return runCluster(clusterOptions{
-			hosts:      *clusterHosts,
-			rounds:     *clusterRounds,
-			msgBytes:   *clusterBytes,
-			workers:    *clusterWorkers,
-			minSpeedup: *minClusterSpeedup,
-			jsonPath:   *jsonPath,
-		}, stdout, stderr)
-	}
-
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return fail(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fail(err)
-		}
-		defer pprof.StopCPUProfile()
-	}
-
-	if *bigsweep {
-		return runBigSweep(bigSweepOptions{
-			stride:     *sweepStride,
-			seed:       *sweepSeed,
-			spotCheck:  *spotCheck,
-			errBound:   *errBound,
-			minSpeedup: *minSpeedup,
-			parallel:   *parallel,
-			jsonPath:   *jsonPath,
-		}, stdout, stderr)
-	}
-
-	if *csvDir != "" {
-		if err := writeCSVs(*csvDir); err != nil {
-			return fail(err)
-		}
-	}
-
-	if *tracePath != "" {
-		if err := writeTrace(*tracePath, stderr); err != nil {
-			return fail(err)
-		}
-	}
-
-	wantSection := func(section string) bool {
-		switch section {
-		case "figures":
-			return all || *figures
-		case "tables":
-			return all || *tables
-		default:
-			return all || *ablations
-		}
-	}
-
-	start := time.Now()
-	var results []result
-	for _, g := range generators() {
-		// -json tracks every generator; printing honors the section flags.
-		if *jsonPath == "" && !wantSection(g.section) {
-			continue
-		}
-		r, err := g.run()
-		if err != nil {
-			return fail(err)
-		}
-		results = append(results, r)
-		if wantSection(g.section) {
-			r.render(stdout)
-		}
-	}
-
-	perf := experiments.Perf()
-	if *jsonPath != "" {
-		rep := report{
-			Parallelism: *parallel,
-			GOMAXPROCS:  runtime.GOMAXPROCS(0),
-			Cache:       !*nocache,
-			Recycle:     !*norecycle,
-			DataPlane:   plane.Name(),
-			TotalWallMS: float64(time.Since(start).Microseconds()) / 1000,
-			Perf:        perf,
-			Results:     results,
-		}
-		buf, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return fail(err)
-		}
-		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(stderr, "geniebench: wrote %s (%d generators, %.0f ms total)\n",
-			*jsonPath, len(results), rep.TotalWallMS)
-	}
-
-	// The performance summary goes to stderr so stdout stays
-	// byte-comparable across cache/recycle/parallelism settings.
-	fmt.Fprintf(stderr,
-		"geniebench: cache %d hits / %d misses / %d single-flight waits; testbeds %d recycled / %d built\n",
-		perf.CacheHits, perf.CacheMisses, perf.CacheWaits,
-		perf.TestbedsRecycled, perf.TestbedsBuilt)
-	if perf.ResetFailures > 0 {
-		fmt.Fprintf(stderr, "geniebench: WARNING: %d testbed resets failed (state leak?)\n",
-			perf.ResetFailures)
-	}
-
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			return fail(err)
-		}
-		runtime.GC() // materialize up-to-date allocation statistics
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return fail(err)
-		}
-		if err := f.Close(); err != nil {
-			return fail(err)
-		}
-	}
-	return 0
+	fmt.Fprintf(stderr, "geniebench: unknown subcommand %q\n", name)
+	printUsage(stderr)
+	return 2
 }
 
-// bigSweepOptions carries the -bigsweep flag settings into runBigSweep.
-type bigSweepOptions struct {
-	stride     int
-	seed       uint64
-	spotCheck  int
-	errBound   float64
-	minSpeedup float64
-	parallel   int
-	jsonPath   string
+// dispatch resolves the subcommand: an explicit first argument wins;
+// otherwise the legacy mode flags (-bigsweep, -cluster, -faults) are
+// recognized as aliases with a deprecation note, and everything else
+// falls through to the default sweep.
+func dispatch(args []string) (name string, rest []string, note string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:], ""
+	}
+	for i, a := range args {
+		flagName := strings.TrimLeft(a, "-")
+		switch {
+		case flagName == "bigsweep" || flagName == "cluster":
+			// Boolean mode flag: drop it, keep every other flag — the
+			// subcommand's FlagSet still accepts the historical names.
+			rest = append(append([]string{}, args[:i]...), args[i+1:]...)
+			return flagName, rest,
+				fmt.Sprintf("geniebench: note: -%s is deprecated; use `geniebench %s`", flagName, flagName)
+		case flagName == "faults" || strings.HasPrefix(flagName, "faults="):
+			// Value-carrying mode flag: keep it, the chaos FlagSet
+			// registers -faults as an alias of -spec.
+			return "chaos", args,
+				"geniebench: note: -faults is deprecated; use `geniebench chaos -spec <spec>`"
+		}
+	}
+	return "sweep", args, ""
 }
 
-// bigsweepDoc is the -json document of a -bigsweep run.
-type bigsweepDoc struct {
-	Parallelism int                        `json:"parallelism"`
-	GOMAXPROCS  int                        `json:"gomaxprocs"`
-	Sweep       experiments.BigSweepReport `json:"bigsweep"`
-	Perf        experiments.PerfStats      `json:"perf"`
+func printUsage(w io.Writer) {
+	fmt.Fprintf(w, "Usage: geniebench [subcommand] [flags]\n\nSubcommands:\n")
+	for _, sc := range subcommands {
+		fmt.Fprintf(w, "  %-9s %s\n", sc.name, sc.desc)
+	}
+	fmt.Fprintf(w, "\nRun `geniebench <subcommand> -h` for that subcommand's flags.\n")
 }
 
-// runBigSweep executes the analytic cross-product sweep and enforces
-// the spot-check error bound (and optionally a minimum speedup) via the
-// exit status.
-func runBigSweep(opts bigSweepOptions, stdout, stderr io.Writer) int {
-	axes := experiments.DefaultSweepAxes()
-	axes.Lengths = nil
-	for n := 1; n <= netsim.MaxFrame; n += opts.stride {
-		axes.Lengths = append(axes.Lengths, n)
-	}
-	rep, err := experiments.BigSweep(experiments.BigSweepConfig{
-		Axes:           axes,
-		Seed:           opts.seed,
-		SpotCheckEvery: opts.spotCheck,
-		ErrBound:       opts.errBound,
-		Workers:        opts.parallel,
-	})
-	if err != nil {
-		fmt.Fprintln(stderr, "geniebench:", err)
-		return 1
-	}
-
-	fmt.Fprintf(stdout, "bigsweep: %d points in %.2fs (%.0f points/sec)\n",
-		rep.Points, rep.ElapsedSec, rep.PointsPerSec)
-	fmt.Fprintf(stdout, "bigsweep: %d simulated spot checks, max relative error %g (bound %g)\n",
-		rep.SpotChecks, rep.MaxRelErr, rep.ErrBound)
-	fmt.Fprintf(stdout, "bigsweep: %.3f us/point analytic vs %.1f us/point simulated (%.0fx)\n",
-		rep.AnalyticPointUS, rep.SimulatedPointUS, rep.Speedup)
-
-	if opts.jsonPath != "" {
-		doc := bigsweepDoc{
-			Parallelism: opts.parallel,
-			GOMAXPROCS:  runtime.GOMAXPROCS(0),
-			Sweep:       rep,
-			Perf:        experiments.Perf(),
-		}
-		buf, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
-			fmt.Fprintln(stderr, "geniebench:", err)
-			return 1
-		}
-		if err := os.WriteFile(opts.jsonPath, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(stderr, "geniebench:", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "geniebench: wrote %s\n", opts.jsonPath)
-	}
-
-	if !rep.BoundOK {
-		fmt.Fprintf(stderr, "geniebench: FAIL: max relative error %g exceeds bound %g (worst: %s)\n",
-			rep.MaxRelErr, rep.ErrBound, rep.WorstPoint)
-		return 1
-	}
-	if opts.minSpeedup > 0 && rep.Speedup < opts.minSpeedup {
-		fmt.Fprintf(stderr, "geniebench: FAIL: speedup %.0fx below required %.0fx\n",
-			rep.Speedup, opts.minSpeedup)
-		return 1
-	}
-	return 0
+// usageErrf reports a flag-validation error with the subcommand's
+// usage text; callers return its value (2) as the exit status.
+func usageErrf(fs *flag.FlagSet, stderr io.Writer, format string, a ...any) int {
+	fmt.Fprintf(stderr, "geniebench: "+format+"\n", a...)
+	fs.Usage()
+	return 2
 }
 
-// runChaos executes the fault-injection matrix and prints the recovery
-// report; any recovery or conservation violation makes the exit status
-// nonzero.
-func runChaos(spec faults.Spec, stdout, stderr io.Writer) int {
-	rep, err := experiments.RunChaos(experiments.ChaosConfig{Spec: spec})
-	if err != nil {
-		fmt.Fprintln(stderr, "geniebench:", err)
-		return 1
-	}
-	fmt.Fprint(stdout, rep)
-	if !rep.OK() {
-		return 1
-	}
-	return 0
-}
-
-// writeTrace re-runs one representative transfer per figure with the
-// structured tracer attached and writes all of them into a single Chrome
-// trace_event JSON document — one process group per exemplar, so the
-// viewer shows each figure's transfer as its own track pair. The runs
-// are serial: the bundled trace sinks are not synchronized.
-func writeTrace(path string, stderr io.Writer) error {
-	exemplars := []struct {
-		name  string
-		setup experiments.Setup
-		sem   core.Semantics
-		bytes int
-	}{
-		{"Figure 3: emulated copy 60KB, early demux",
-			experiments.Setup{Scheme: netsim.EarlyDemux}, core.EmulatedCopy, 61440},
-		{"Figure 4: share 60KB, early demux",
-			experiments.Setup{Scheme: netsim.EarlyDemux}, core.Share, 61440},
-		{"Figure 5: emulated copy 2KB, early demux",
-			experiments.Setup{Scheme: netsim.EarlyDemux}, core.EmulatedCopy, 2048},
-		{"Figure 6: emulated copy 60KB, pooled",
-			experiments.Setup{Scheme: netsim.Pooled}, core.EmulatedCopy, 61440},
-		{"Figure 7: emulated copy 60KB, pooled, misaligned",
-			experiments.Setup{Scheme: netsim.Pooled, DevOff: 1000, AppOffset: 1000},
-			core.EmulatedCopy, 61440},
-		{"Outboard: emulated copy 60KB",
-			experiments.Setup{Scheme: netsim.OutboardBuffering}, core.EmulatedCopy, 61440},
-	}
-	exp := trace.NewChromeExporter()
-	for i, e := range exemplars {
-		exp.SetProcess(i+1, e.name)
-		s := e.setup
-		s.Tracer = trace.New(exp)
-		if _, err := experiments.Measure(s, e.sem, e.bytes); err != nil {
-			return fmt.Errorf("trace exemplar %q: %w", e.name, err)
-		}
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if _, err := exp.WriteTo(f); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(stderr, "geniebench: wrote %s (%d traced exemplars; load in chrome://tracing or Perfetto)\n",
-		path, len(exemplars))
-	return nil
-}
-
-// writeCSVs regenerates the five figures and writes them as CSV files.
-func writeCSVs(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	gens := map[string]func(experiments.Setup) (experiments.Figure, error){
-		"figure3.csv": experiments.Figure3,
-		"figure4.csv": experiments.Figure4,
-		"figure5.csv": experiments.Figure5,
-		"figure6.csv": experiments.Figure6,
-		"figure7.csv": experiments.Figure7,
-	}
-	for name, gen := range gens {
-		fig, err := gen(experiments.Setup{})
-		if err != nil {
-			return err
-		}
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		fig.CSV(f)
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	return nil
+func failf(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "geniebench:", err)
+	return 1
 }

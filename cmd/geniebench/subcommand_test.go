@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The dispatcher: explicit subcommands route, legacy mode flags alias
+// with a deprecation note, and unknown names exit 2 with the
+// subcommand list.
+func TestCLIDispatch(t *testing.T) {
+	t.Run("unknown subcommand", func(t *testing.T) {
+		code, _, stderr := runCLI(t, "frobnicate")
+		if code != 2 {
+			t.Fatalf("exit code %d, want 2", code)
+		}
+		for _, want := range []string{"unknown subcommand", "Usage", "workload", "bigsweep"} {
+			if !strings.Contains(stderr, want) {
+				t.Errorf("stderr missing %q:\n%s", want, stderr)
+			}
+		}
+	})
+	t.Run("legacy faults alias notes deprecation", func(t *testing.T) {
+		code, stdout, stderr := runCLI(t, "-faults", "seed=1,drop=0.25")
+		if code != 0 {
+			t.Fatalf("exit code %d\nstderr:\n%s", code, stderr)
+		}
+		if !strings.Contains(stderr, "deprecated") || !strings.Contains(stderr, "geniebench chaos") {
+			t.Errorf("no deprecation note on stderr:\n%s", stderr)
+		}
+		if !strings.Contains(stdout, "recovered") {
+			t.Errorf("chaos report missing:\n%s", stdout)
+		}
+	})
+	t.Run("chaos subcommand spec flag", func(t *testing.T) {
+		code, stdout, stderr := runCLI(t, "chaos", "-spec", "seed=1,drop=0.25")
+		if code != 0 {
+			t.Fatalf("exit code %d\nstderr:\n%s", code, stderr)
+		}
+		if strings.Contains(stderr, "deprecated") {
+			t.Errorf("spurious deprecation note for the new spelling:\n%s", stderr)
+		}
+		if !strings.Contains(stdout, "recovered") {
+			t.Errorf("chaos report missing:\n%s", stdout)
+		}
+	})
+	t.Run("chaos requires a spec", func(t *testing.T) {
+		code, _, stderr := runCLI(t, "chaos")
+		if code != 2 || !strings.Contains(stderr, "-faults") {
+			t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+		}
+	})
+	t.Run("chaos rejects empty spec", func(t *testing.T) {
+		code, _, stderr := runCLI(t, "chaos", "-spec", "seed=0")
+		if code != 2 || !strings.Contains(stderr, "injects nothing") {
+			t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+		}
+	})
+	t.Run("cluster subcommand canonical flags", func(t *testing.T) {
+		code, _, stderr := runCLI(t, "cluster", "-hosts", "1")
+		if code != 2 || !strings.Contains(stderr, "-clusterhosts") {
+			t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+		}
+	})
+	t.Run("sweep is the default", func(t *testing.T) {
+		// A bad sweep-only flag value proves the default route parses
+		// sweep's FlagSet.
+		code, _, stderr := runCLI(t, "-dataplane", "quantum")
+		if code != 2 || !strings.Contains(stderr, "-dataplane") {
+			t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+		}
+	})
+}
+
+// The workload subcommand end to end: a trimmed sweep exits 0, prints
+// per-point lines plus the transition verdict and digest lines, honors
+// -json, and the -requiretransition gate distinguishes finite from
+// absent transitions.
+func TestCLIWorkload(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "wl.json")
+	code, stdout, stderr := runCLI(t, "workload",
+		"-semantics", "copy,emulated-weak-move",
+		"-depths", "1,4", "-loads", "2", "-workers", "1,2",
+		"-requiretransition", "copy",
+		"-json", jsonPath)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{
+		"workload fileserver",
+		"BIMODAL",
+		"copy               rule-3 transition at depth 4",
+		"emulated weak move rule-3 transition at depth 1",
+		"bit-identical across worker counts",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+
+	buf, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.WorkloadReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("bad -json document: %v", err)
+	}
+	if !rep.Deterministic || len(rep.Runs) != 2 || rep.Result == nil {
+		t.Errorf("json report inconsistent: %+v", rep)
+	}
+	if s := rep.Result.Scheme("copy"); s == nil || s.TransitionDepth != 4 {
+		t.Errorf("json report copy transition: %+v", s)
+	}
+}
+
+// The gate fails when the named semantics never leaves the bimodal
+// regime — the stream scenario under overload.
+func TestCLIWorkloadGateFails(t *testing.T) {
+	code, _, stderr := runCLI(t, "workload",
+		"-scenario", "stream", "-semantics", "copy",
+		"-depths", "2", "-loads", "2", "-ops", "6", "-workers", "1",
+		"-requiretransition", "copy")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "transition") {
+		t.Errorf("stderr missing gate diagnostic:\n%s", stderr)
+	}
+}
+
+// Workload flag validation: unknown semantics, bad lists, and bad fault
+// specs are usage errors (exit 2) naming the offending flag.
+func TestCLIWorkloadRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown semantics", []string{"-semantics", "telepathy"}, "-semantics"},
+		{"bad depth list", []string{"-depths", "1,x"}, "-depths"},
+		{"bad load list", []string{"-loads", "0.5,fast"}, "-loads"},
+		{"bad worker list", []string{"-workers", "1,none"}, "-workers"},
+		{"zero worker", []string{"-workers", "0"}, "-workers"},
+		{"malformed faults", []string{"-faults", "seed"}, "-faults"},
+		{"unknown scenario", []string{"-scenario", "torrent"}, "scenario"},
+		{"bad gate name", []string{"-requiretransition", "telepathy"}, "-requiretransition"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, append([]string{"workload"}, tc.args...)...)
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+// Hyphenated semantics spellings resolve to the canonical space-
+// separated names, so shells need no quoting.
+func TestParseSemanticsList(t *testing.T) {
+	sems, err := parseSemanticsList("copy, Emulated-Copy ,weak move")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sems) != 3 {
+		t.Fatalf("parsed %v", sems)
+	}
+	for i, want := range []string{"copy", "emulated copy", "weak move"} {
+		if sems[i].String() != want {
+			t.Errorf("sems[%d] = %q, want %q", i, sems[i], want)
+		}
+	}
+	if _, err := parseSemanticsList("move,bogus"); err == nil ||
+		!strings.Contains(err.Error(), "bogus") {
+		t.Errorf("bad name not diagnosed: %v", err)
+	}
+}

@@ -1,0 +1,344 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// generator is one named figure or table producer.
+type generator struct {
+	name    string
+	section string // "figures", "tables", or "ablations"
+	fig     func() (experiments.Figure, error)
+	tab     func() (experiments.Table, error)
+}
+
+// result is one generator's outcome, as written to the -json report.
+type result struct {
+	Name    string              `json:"name"`
+	Section string              `json:"section"`
+	WallMS  float64             `json:"wall_ms"`
+	Figure  *experiments.Figure `json:"figure,omitempty"`
+	Table   *experiments.Table  `json:"table,omitempty"`
+}
+
+// report is the top-level -json document, written so future PRs can
+// track both the reproduced numbers and the harness's own wall-clock.
+type report struct {
+	Parallelism int                   `json:"parallelism"`
+	GOMAXPROCS  int                   `json:"gomaxprocs"`
+	Cache       bool                  `json:"cache"`
+	Recycle     bool                  `json:"recycle"`
+	DataPlane   string                `json:"data_plane"`
+	TotalWallMS float64               `json:"total_wall_ms"`
+	Perf        experiments.PerfStats `json:"perf"`
+	Results     []result              `json:"results"`
+}
+
+// generators lists every figure, table, and ablation in print order.
+func generators() []generator {
+	fig := func(name string, f func(experiments.Setup) (experiments.Figure, error)) generator {
+		return generator{name: name, section: "figures",
+			fig: func() (experiments.Figure, error) { return f(experiments.Setup{}) }}
+	}
+	tabS := func(name, section string, f func(experiments.Setup) (experiments.Table, error)) generator {
+		return generator{name: name, section: section,
+			tab: func() (experiments.Table, error) { return f(experiments.Setup{}) }}
+	}
+	tab := func(name, section string, f func() (experiments.Table, error)) generator {
+		return generator{name: name, section: section, tab: f}
+	}
+	return []generator{
+		fig("Figure 3", experiments.Figure3),
+		fig("Figure 4", experiments.Figure4),
+		fig("Figure 5", experiments.Figure5),
+		fig("Figure 6", experiments.Figure6),
+		fig("Figure 7", experiments.Figure7),
+		fig("Outboard (predicted)", experiments.FigureOutboard),
+		tabS("Figure 3 (throughput)", "figures", experiments.Figure3Throughput),
+		tab("Table 1", "tables", func() (experiments.Table, error) { return experiments.Table1(), nil }),
+		tab("Table 5", "tables", func() (experiments.Table, error) { return experiments.Table5(), nil }),
+		tabS("Table 6", "tables", experiments.Table6),
+		tabS("Table 7", "tables", experiments.Table7),
+		tab("Table 8", "tables", experiments.Table8),
+		tab("OC-12 prediction", "tables", experiments.TableOC12),
+		tab("Throughput (OC-3)", "tables", func() (experiments.Table, error) {
+			return experiments.TableThroughput(cost.CreditNetOC3)
+		}),
+		tab("Throughput (OC-12)", "tables", func() (experiments.Table, error) {
+			return experiments.TableThroughput(cost.CreditNetOC12)
+		}),
+		tab("Ablation: wiring", "ablations", experiments.AblationWiring),
+		tab("Ablation: alignment", "ablations", experiments.AblationAlignment),
+		tab("Ablation: thresholds", "ablations", experiments.AblationThresholds),
+		tab("Ablation: reverse copyout", "ablations", experiments.AblationReverseCopyout),
+		tab("Ablation: output protection", "ablations", experiments.AblationOutputProtection),
+		tab("Ablation: checksum", "ablations", experiments.AblationChecksum),
+		tab("Ablation: pageout", "ablations", experiments.AblationPageout),
+	}
+}
+
+// run executes one generator, timing its wall clock.
+func (g generator) run() (result, error) {
+	r := result{Name: g.name, Section: g.section}
+	start := time.Now()
+	switch {
+	case g.fig != nil:
+		f, err := g.fig()
+		if err != nil {
+			return result{}, fmt.Errorf("%s: %w", g.name, err)
+		}
+		r.Figure = &f
+	default:
+		t, err := g.tab()
+		if err != nil {
+			return result{}, fmt.Errorf("%s: %w", g.name, err)
+		}
+		r.Table = &t
+	}
+	r.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	return r, nil
+}
+
+func (r result) render(w io.Writer) {
+	if r.Figure != nil {
+		r.Figure.Render(w)
+	} else if r.Table != nil {
+		r.Table.Render(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// runSweepCmd is the default subcommand: regenerate the paper's
+// figures, tables, and ablations.
+func runSweepCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("geniebench sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	figures := fs.Bool("figures", false, "regenerate the figures only")
+	tables := fs.Bool("tables", false, "regenerate the tables only")
+	ablations := fs.Bool("ablations", false, "run the ablations only")
+	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines per sweep (1 = serial)")
+	jsonPath := fs.String("json", "",
+		"write every figure/table plus wall-clock per generator as JSON to this path")
+	nocache := fs.Bool("nocache", false,
+		"disable the cross-generator measurement memo (output is identical, only slower)")
+	norecycle := fs.Bool("norecycle", false,
+		"disable testbed recycling across measurement points")
+	dataplane := fs.String("dataplane", "symbolic",
+		"payload representation inside the simulator: symbolic or bytes (output is identical)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this path")
+	tracePath := fs.String("trace", "",
+		"capture one traced exemplar transfer per figure as Chrome trace_event JSON at this path")
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the error and usage
+	}
+	if *parallel < 1 {
+		return usageErrf(fs, stderr, "-parallel must be at least 1, got %d", *parallel)
+	}
+	plane, err := mem.PlaneByName(*dataplane)
+	if err != nil {
+		return usageErrf(fs, stderr, "-dataplane: %v", err)
+	}
+	all := !*figures && !*tables && !*ablations && *tracePath == ""
+
+	experiments.SetParallelism(*parallel)
+	experiments.SetCaching(!*nocache)
+	experiments.SetRecycling(!*norecycle)
+	experiments.SetDataPlane(plane)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return failf(stderr, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return failf(stderr, err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir); err != nil {
+			return failf(stderr, err)
+		}
+	}
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, stderr); err != nil {
+			return failf(stderr, err)
+		}
+	}
+
+	wantSection := func(section string) bool {
+		switch section {
+		case "figures":
+			return all || *figures
+		case "tables":
+			return all || *tables
+		default:
+			return all || *ablations
+		}
+	}
+
+	start := time.Now()
+	var results []result
+	for _, g := range generators() {
+		// -json tracks every generator; printing honors the section flags.
+		if *jsonPath == "" && !wantSection(g.section) {
+			continue
+		}
+		r, err := g.run()
+		if err != nil {
+			return failf(stderr, err)
+		}
+		results = append(results, r)
+		if wantSection(g.section) {
+			r.render(stdout)
+		}
+	}
+
+	perf := experiments.Perf()
+	if *jsonPath != "" {
+		rep := report{
+			Parallelism: *parallel,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Cache:       !*nocache,
+			Recycle:     !*norecycle,
+			DataPlane:   plane.Name(),
+			TotalWallMS: float64(time.Since(start).Microseconds()) / 1000,
+			Perf:        perf,
+			Results:     results,
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return failf(stderr, err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return failf(stderr, err)
+		}
+		fmt.Fprintf(stderr, "geniebench: wrote %s (%d generators, %.0f ms total)\n",
+			*jsonPath, len(results), rep.TotalWallMS)
+	}
+
+	// The performance summary goes to stderr so stdout stays
+	// byte-comparable across cache/recycle/parallelism settings.
+	fmt.Fprintf(stderr,
+		"geniebench: cache %d hits / %d misses / %d single-flight waits; testbeds %d recycled / %d built\n",
+		perf.CacheHits, perf.CacheMisses, perf.CacheWaits,
+		perf.TestbedsRecycled, perf.TestbedsBuilt)
+	if perf.ResetFailures > 0 {
+		fmt.Fprintf(stderr, "geniebench: WARNING: %d testbed resets failed (state leak?)\n",
+			perf.ResetFailures)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return failf(stderr, err)
+		}
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return failf(stderr, err)
+		}
+		if err := f.Close(); err != nil {
+			return failf(stderr, err)
+		}
+	}
+	return 0
+}
+
+// writeTrace re-runs one representative transfer per figure with the
+// structured tracer attached and writes all of them into a single Chrome
+// trace_event JSON document — one process group per exemplar, so the
+// viewer shows each figure's transfer as its own track pair. The runs
+// are serial: the bundled trace sinks are not synchronized.
+func writeTrace(path string, stderr io.Writer) error {
+	exemplars := []struct {
+		name  string
+		setup experiments.Setup
+		sem   core.Semantics
+		bytes int
+	}{
+		{"Figure 3: emulated copy 60KB, early demux",
+			experiments.Setup{Scheme: netsim.EarlyDemux}, core.EmulatedCopy, 61440},
+		{"Figure 4: share 60KB, early demux",
+			experiments.Setup{Scheme: netsim.EarlyDemux}, core.Share, 61440},
+		{"Figure 5: emulated copy 2KB, early demux",
+			experiments.Setup{Scheme: netsim.EarlyDemux}, core.EmulatedCopy, 2048},
+		{"Figure 6: emulated copy 60KB, pooled",
+			experiments.Setup{Scheme: netsim.Pooled}, core.EmulatedCopy, 61440},
+		{"Figure 7: emulated copy 60KB, pooled, misaligned",
+			experiments.Setup{Scheme: netsim.Pooled, DevOff: 1000, AppOffset: 1000},
+			core.EmulatedCopy, 61440},
+		{"Outboard: emulated copy 60KB",
+			experiments.Setup{Scheme: netsim.OutboardBuffering}, core.EmulatedCopy, 61440},
+	}
+	exp := trace.NewChromeExporter()
+	for i, e := range exemplars {
+		exp.SetProcess(i+1, e.name)
+		s := e.setup
+		s.Tracer = trace.New(exp)
+		if _, err := experiments.Measure(s, e.sem, e.bytes); err != nil {
+			return fmt.Errorf("trace exemplar %q: %w", e.name, err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := exp.WriteTo(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "geniebench: wrote %s (%d traced exemplars; load in chrome://tracing or Perfetto)\n",
+		path, len(exemplars))
+	return nil
+}
+
+// writeCSVs regenerates the five figures and writes them as CSV files.
+func writeCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	gens := map[string]func(experiments.Setup) (experiments.Figure, error){
+		"figure3.csv": experiments.Figure3,
+		"figure4.csv": experiments.Figure4,
+		"figure5.csv": experiments.Figure5,
+		"figure6.csv": experiments.Figure6,
+		"figure7.csv": experiments.Figure7,
+	}
+	for name, gen := range gens {
+		fig, err := gen(experiments.Setup{})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		fig.CSV(f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

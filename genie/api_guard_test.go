@@ -10,6 +10,22 @@ import (
 	"testing"
 )
 
+// noDeprecated enforces the facade's no-graveyard rule: a declaration
+// that earns a "Deprecated:" godoc marker must be deleted (with its
+// callers migrated) in the PR that deprecates it, not left to rot.
+func noDeprecated(t *testing.T, fset *token.FileSet, context string, doc *ast.CommentGroup) {
+	t.Helper()
+	if doc == nil {
+		return
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, "Deprecated:") {
+			t.Errorf("%s: %s carries a Deprecated: marker — delete the declaration and migrate callers instead",
+				fset.Position(c.Pos()), context)
+		}
+	}
+}
+
 // TestFacadeHidesInternalTypes is the API guard for the facade redesign:
 // no exported declaration of package genie may reference a
 // repro/internal/... type where godoc would render it — function and
@@ -29,7 +45,7 @@ func TestFacadeHidesInternalTypes(t *testing.T) {
 		if strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, name, nil, 0)
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,6 +85,7 @@ func TestFacadeHidesInternalTypes(t *testing.T) {
 		for _, decl := range f.Decls {
 			switch d := decl.(type) {
 			case *ast.FuncDecl:
+				noDeprecated(t, fset, "func "+d.Name.Name, d.Doc)
 				if !d.Name.IsExported() {
 					continue
 				}
@@ -83,9 +100,11 @@ func TestFacadeHidesInternalTypes(t *testing.T) {
 					leaks(ctx+" results", d.Type.Results)
 				}
 			case *ast.GenDecl:
+				noDeprecated(t, fset, "decl", d.Doc)
 				for _, spec := range d.Specs {
 					switch s := spec.(type) {
 					case *ast.TypeSpec:
+						noDeprecated(t, fset, "type "+s.Name.Name, s.Doc)
 						if !s.Name.IsExported() || s.Assign.IsValid() {
 							// Unexported, or a type alias — the one
 							// sanctioned re-export position.
@@ -103,6 +122,9 @@ func TestFacadeHidesInternalTypes(t *testing.T) {
 						}
 						leaks("type "+s.Name.Name, s.Type)
 					case *ast.ValueSpec:
+						if len(s.Names) > 0 {
+							noDeprecated(t, fset, "var/const "+s.Names[0].Name, s.Doc)
+						}
 						exported := false
 						for _, vname := range s.Names {
 							if vname.IsExported() {

@@ -229,21 +229,6 @@ func WithNetwork(n Net) Option {
 	}
 }
 
-// WithPlatformAt selects the host machine and link rate in Mbps.
-//
-// Deprecated: compose WithPlatform(p) with WithNetwork(NetAt(rateMbps)).
-func WithPlatformAt(p Platform, rateMbps float64) Option {
-	return func(o *options) {
-		WithPlatform(p)(o)
-		WithNetwork(NetAt(rateMbps))(o)
-	}
-}
-
-// WithOC12 runs the link at OC-12 (622 Mbps), the paper's extrapolation.
-//
-// Deprecated: use WithNetwork(OC12).
-func WithOC12() Option { return WithNetwork(OC12) }
-
 // WithDeviceOffset sets the payload placement offset within the first
 // input page (unstripped headers under pooled buffering). Applications
 // discover it with Host.PreferredAlignment.

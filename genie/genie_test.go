@@ -93,7 +93,7 @@ func TestOC12Option(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := genie.New(genie.WithOC12())
+	fast, err := genie.New(genie.WithNetwork(genie.OC12))
 	if err != nil {
 		t.Fatal(err)
 	}

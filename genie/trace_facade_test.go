@@ -210,8 +210,8 @@ func TestMemoryExhaustionThroughFacade(t *testing.T) {
 	}
 }
 
-// TestComposablePlatformNetwork asserts the new two-axis options agree
-// with the deprecated single-option spellings they replace.
+// TestComposablePlatformNetwork asserts the two-axis options compose:
+// each axis changes latency independently of how the other is spelled.
 func TestComposablePlatformNetwork(t *testing.T) {
 	latency := func(opts ...genie.Option) genie.Duration {
 		net, err := genie.New(opts...)
@@ -221,8 +221,8 @@ func TestComposablePlatformNetwork(t *testing.T) {
 		in := transferOnce(t, net, genie.EmulatedCopy, 61440)
 		return in.CompletedAt.Sub(genie.Time(0))
 	}
-	if a, b := latency(genie.WithNetwork(genie.OC12)), latency(genie.WithOC12()); a != b {
-		t.Errorf("WithNetwork(OC12) latency %v != WithOC12() latency %v", a, b)
+	if a, b := latency(genie.WithNetwork(genie.OC12)), latency(genie.WithNetwork(genie.NetAt(622))); a != b {
+		t.Errorf("WithNetwork(OC12) latency %v != WithNetwork(NetAt(622)) latency %v", a, b)
 	}
 	if a, b := latency(genie.WithPlatform(genie.AlphaStation255), genie.WithNetwork(genie.OC3)),
 		latency(genie.WithPlatform(genie.AlphaStation255)); a != b {

@@ -165,3 +165,20 @@ func (c *Cluster) Connect(a, b *Process, sem Semantics, bufSize, window int) (*E
 	}
 	return NewChannel(a, b, basePort, sem, bufSize, window)
 }
+
+// ConnectReliable opens a reliable channel between processes a and b
+// over the cluster fabric: the cluster-topology analogue of
+// NewReliableChannel, with the same framing overhead (frames grow by
+// the reliable header) and the same credit-flow-control-off discipline
+// — a dropped frame would strand its credit, and the retransmit layer
+// windows for itself. This is what lets closed-loop workloads run
+// fault-armed on a multi-host topology and recover from pool-
+// exhaustion drops.
+func (c *Cluster) ConnectReliable(a, b *Process, sem Semantics, bufSize, window int, rcfg ReliableConfig) (*Reliable, *Reliable, error) {
+	ea, eb, err := c.Connect(a, b, sem, bufSize+relHeaderLen, window)
+	if err != nil {
+		return nil, nil, err
+	}
+	ea.noCredits, eb.noCredits = true, true
+	return newReliable(ea, rcfg), newReliable(eb, rcfg), nil
+}

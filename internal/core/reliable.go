@@ -112,6 +112,7 @@ type Reliable struct {
 	sendQ     map[uint32]*relPending
 	seen      map[uint32]bool
 	onDeliver func(seq uint32, payload []byte)
+	onSettled func(seq uint32, acked bool)
 	closed    bool
 	stats     ReliableStats
 }
@@ -158,6 +159,13 @@ func (r *Reliable) Outstanding() int { return len(r.sendQ) }
 // slice is owned by the callee.
 func (r *Reliable) OnDeliver(fn func(seq uint32, payload []byte)) { r.onDeliver = fn }
 
+// OnSettled installs an upcall fired once per sent frame when it leaves
+// the send queue: acked true on acknowledgement, false when the frame
+// was abandoned after MaxAttempts. Closed-loop senders use it as the
+// completion signal that admits the next operation, turning the
+// retransmit machinery's backpressure into workload backpressure.
+func (r *Reliable) OnSettled(fn func(seq uint32, acked bool)) { r.onSettled = fn }
+
 // Close cancels retransmit timers and the posted receive window. In-
 // flight frames are abandoned without touching GaveUp.
 func (r *Reliable) Close() {
@@ -202,6 +210,9 @@ func (r *Reliable) transmit(p *relPending) {
 		p.done = true
 		delete(r.sendQ, p.seq)
 		r.stats.GaveUp++
+		if r.onSettled != nil {
+			r.onSettled(p.seq, false)
+		}
 		return
 	}
 	p.attempts++
@@ -279,6 +290,9 @@ func (r *Reliable) onMessage(m *Message) {
 		p.timer.Cancel()
 		delete(r.sendQ, seq)
 		r.stats.Acked++
+		if r.onSettled != nil {
+			r.onSettled(seq, true)
+		}
 	default:
 		// Corrupted type that still passed checksum: vanishingly rare
 		// (16-bit sum), drop and let the sender retransmit.

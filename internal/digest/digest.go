@@ -1,0 +1,74 @@
+// Package digest provides the determinism fingerprint shared by the
+// cluster benchmarks and the closed-loop workload engine. Every
+// order-sensitive observation — a delivery record, a stat snapshot, a
+// latency sample — is folded into one FNV-64a stream; two runs are
+// bit-identical exactly when their digests match. The fold is
+// insertion-order sensitive on purpose: callers must feed records in a
+// canonical order (round, channel, client index), and any worker-count-
+// dependent reordering shows up as a digest mismatch.
+package digest
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+)
+
+// Digest folds formatted records into an FNV-64a hash and counts how
+// many record-sized units were folded (callers decide the unit — the
+// cluster bench counts deliveries, the workload engine counts
+// completed operations).
+type Digest struct {
+	h       hash.Hash64
+	records uint64
+}
+
+// New returns an empty digest.
+func New() *Digest {
+	return &Digest{h: fnv.New64a()}
+}
+
+// Addf folds a formatted record into the hash. Use %x for floats:
+// decimal formatting is exact for IEEE doubles only at absurd widths,
+// while the hex form is bit-faithful and compact.
+func (d *Digest) Addf(format string, args ...any) {
+	fmt.Fprintf(d.h, format, args...)
+}
+
+// Record advances the record counter by one.
+func (d *Digest) Record() { d.records++ }
+
+// Records returns the number of records folded so far.
+func (d *Digest) Records() uint64 { return d.records }
+
+// Sum64 returns the current hash value.
+func (d *Digest) Sum64() uint64 { return d.h.Sum64() }
+
+// Hex returns the hash as a fixed-width hex string, the form reports
+// and JSON blocks carry.
+func (d *Digest) Hex() string { return fmt.Sprintf("%016x", d.h.Sum64()) }
+
+// PayloadSum is the sampling checksum folded per delivered payload: an
+// FNV-32a over the head (up to 64 bytes) plus a stride through the body
+// and the final byte. Full-byte sums would dominate the benchmarks'
+// serial app-time section and mask engine self-speedup; the head
+// carries the per-message stamp that distinguishes every message
+// anyway, and the stride catches gross body corruption.
+func PayloadSum(payload []byte) uint32 {
+	sum := uint32(2166136261)
+	mix := func(b byte) { sum = (sum ^ uint32(b)) * 16777619 }
+	head := len(payload)
+	if head > 64 {
+		head = 64
+	}
+	for _, b := range payload[:head] {
+		mix(b)
+	}
+	for i := head; i < len(payload); i += 101 {
+		mix(payload[i])
+	}
+	if len(payload) > 0 {
+		mix(payload[len(payload)-1])
+	}
+	return sum
+}

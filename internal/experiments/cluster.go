@@ -2,12 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"hash"
-	"hash/fnv"
 	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/digest"
 	"repro/internal/mem"
 	"repro/internal/topo"
 )
@@ -90,48 +89,30 @@ type ClusterReport struct {
 }
 
 // clusterDigest folds delivery records and final stats into one FNV-64a
-// hex string. Everything order-sensitive goes through here: if any
-// worker count perturbs a single delivery time, payload byte, or stat
-// counter, the digest changes.
+// hex string (the shared internal/digest fold). Everything order-
+// sensitive goes through here: if any worker count perturbs a single
+// delivery time, payload byte, or stat counter, the digest changes.
 type clusterDigest struct {
-	h          hash.Hash64
-	deliveries uint64
+	*digest.Digest
 }
 
 func newClusterDigest() *clusterDigest {
-	return &clusterDigest{h: fnv.New64a()}
+	return &clusterDigest{Digest: digest.New()}
 }
 
 func (d *clusterDigest) addf(format string, args ...any) {
-	fmt.Fprintf(d.h, format, args...)
+	d.Addf(format, args...)
 }
 
-// delivery folds one received message into the digest. The payload
-// checksum samples the head plus a stride through the body: full-byte
-// sums would dominate the benchmark's serial (app-time) section and
-// mask the engine's self-speedup, and the head carries the per-message
-// stamp that distinguishes every (round, channel, direction) anyway.
+// delivery folds one received message into the digest, sampling the
+// payload with the shared strided checksum (see digest.PayloadSum for
+// why sampling, not summing, is the right cost/discrimination trade).
 func (d *clusterDigest) delivery(round, ch, port, n int, at float64, payload []byte) {
-	sum := uint32(2166136261)
-	mix := func(b byte) { sum = (sum ^ uint32(b)) * 16777619 }
-	head := len(payload)
-	if head > 64 {
-		head = 64
-	}
-	for _, b := range payload[:head] {
-		mix(b)
-	}
-	for i := head; i < len(payload); i += 101 {
-		mix(payload[i])
-	}
-	if len(payload) > 0 {
-		mix(payload[len(payload)-1])
-	}
-	d.addf("r%d c%d p%d len=%d at=%x sum=%08x\n", round, ch, port, n, at, sum)
-	d.deliveries++
+	d.Addf("r%d c%d p%d len=%d at=%x sum=%08x\n", round, ch, port, n, at, digest.PayloadSum(payload))
+	d.Record()
 }
 
-func (d *clusterDigest) hex() string { return fmt.Sprintf("%016x", d.h.Sum64()) }
+func (d *clusterDigest) hex() string { return d.Hex() }
 
 // stamp writes the per-message identity into the payload head. The body
 // keeps its constant fill: re-stamping every byte of every message is
@@ -234,7 +215,7 @@ func runIncastOnce(cfg ClusterBenchConfig, workers int) (*ClusterWorkerRun, erro
 	return &ClusterWorkerRun{
 		Workers:     workers,
 		Digest:      d.hex(),
-		Deliveries:  d.deliveries,
+		Deliveries:  d.Records(),
 		FinalTimeUS: float64(final),
 		ElapsedSec:  elapsed.Seconds(),
 	}, nil
@@ -312,7 +293,7 @@ func runRingOnce(cfg ClusterBenchConfig, workers int) (*ClusterWorkerRun, error)
 	return &ClusterWorkerRun{
 		Workers:     workers,
 		Digest:      d.hex(),
-		Deliveries:  d.deliveries,
+		Deliveries:  d.Records(),
 		FinalTimeUS: float64(final),
 		ElapsedSec:  elapsed.Seconds(),
 	}, nil

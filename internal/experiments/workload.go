@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// The closed-loop workload experiment: run one backpressure sweep
+// (semantics × queue depth × offered load, see internal/workload) at
+// several worker counts, digest-compare the runs, and report the
+// serial baseline's schemes. This is the same determinism discipline
+// as the cluster benchmarks — the digest folds every latency sample,
+// counter, and high-water mark, so a single worker-count-dependent
+// perturbation anywhere in the stack flips Deterministic to false.
+
+// WorkloadConfig parameterizes the experiment: the sweep itself plus
+// the worker counts to compare.
+type WorkloadConfig struct {
+	workload.Config
+	// Workers lists the shard-advance worker counts; empty → 1 and 4.
+	Workers []int
+}
+
+// WorkloadWorkerRun is one full sweep at a fixed worker count.
+type WorkloadWorkerRun struct {
+	Workers      int     `json:"workers"`
+	Digest       string  `json:"digest"`
+	CompletedOps uint64  `json:"completed_ops"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+}
+
+// WorkloadReport is the experiment outcome: the serial baseline's full
+// sweep, the per-worker-count digests, and the determinism verdict.
+type WorkloadReport struct {
+	Scenario      string              `json:"scenario"`
+	GOMAXPROCS    int                 `json:"gomaxprocs"`
+	NumCPU        int                 `json:"num_cpu"`
+	Result        *workload.Result    `json:"result"`
+	Runs          []WorkloadWorkerRun `json:"runs"`
+	Deterministic bool                `json:"deterministic"`
+}
+
+// RunWorkload executes the sweep at every configured worker count. The
+// first run (workers=1 unless overridden) is the reported baseline;
+// every other run must reproduce its digest bit for bit.
+func RunWorkload(cfg WorkloadConfig) (*WorkloadReport, error) {
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 4}
+	}
+	rep := &WorkloadReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Deterministic: true,
+	}
+	for _, w := range workers {
+		if w < 1 {
+			w = 1
+		}
+		start := time.Now()
+		res, err := workload.Run(cfg.Config, w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, WorkloadWorkerRun{
+			Workers:      w,
+			Digest:       res.Digest,
+			CompletedOps: res.CompletedOps,
+			ElapsedSec:   time.Since(start).Seconds(),
+		})
+		if rep.Result == nil {
+			rep.Result = res
+			rep.Scenario = res.Scenario
+		} else if res.Digest != rep.Result.Digest {
+			rep.Deterministic = false
+		}
+	}
+	return rep, nil
+}

@@ -14,6 +14,8 @@ package mem
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/stats"
 )
 
 // ErrOutOfMemory is returned by Alloc when no free frames remain.
@@ -201,13 +203,14 @@ type Stats struct {
 
 // PhysMem is a simulated bank of physical memory.
 type PhysMem struct {
-	pageSize  int
-	plane     DataPlane
-	frames    []Frame
+	pageSize   int
+	plane      DataPlane
+	frames     []Frame
 	freeList   []FrameID // LIFO
 	reclaimer  func(need int) int
 	allocFault func() bool
 	stats      Stats
+	hwm        stats.HighWater // frames off the free list, high-water tracked
 }
 
 // New creates a physical memory of numFrames frames of pageSize bytes
@@ -267,6 +270,7 @@ func (pm *PhysMem) Reset() {
 	pm.reclaimer = nil
 	pm.allocFault = nil
 	pm.stats = Stats{}
+	pm.hwm.Reset()
 	for i := range pm.frames {
 		f := &pm.frames[i]
 		f.inRefs, f.outRefs, f.wired = 0, 0, 0
@@ -291,6 +295,14 @@ func (pm *PhysMem) NumFrames() int { return len(pm.frames) }
 
 // FreeFrames returns the number of frames currently on the free list.
 func (pm *PhysMem) FreeFrames() int { return len(pm.freeList) }
+
+// HighWater returns the most frames ever simultaneously off the free
+// list — the machine-wide memory high-water mark. Kept outside Stats so
+// stat-struct hashes from earlier benchmarks are unperturbed.
+func (pm *PhysMem) HighWater() int { return pm.hwm.High() }
+
+// ResetHighWater clears the high-water mark without touching frames.
+func (pm *PhysMem) ResetHighWater() { pm.hwm.Reset() }
 
 // Stats returns a snapshot of allocation statistics.
 func (pm *PhysMem) Stats() Stats { return pm.stats }
@@ -341,6 +353,7 @@ func (pm *PhysMem) alloc() (*Frame, error) {
 	}
 	id := pm.freeList[n-1]
 	pm.freeList = pm.freeList[:n-1]
+	pm.hwm.Set(len(pm.frames) - len(pm.freeList))
 	f := &pm.frames[id]
 	if f.data == nil && f.runs == nil {
 		pm.plane.materialize(f, pm.pageSize)
@@ -408,6 +421,7 @@ func (pm *PhysMem) pushFree(f *Frame) {
 	f.free = true
 	pm.freeList = append(pm.freeList, f.id)
 	pm.stats.Frees++
+	pm.hwm.Set(len(pm.frames) - len(pm.freeList))
 }
 
 // Reattach rescues a pending-free frame back into the attached state.

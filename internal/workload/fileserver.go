@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// The file-server scenario: N clients on their own hosts run
+// think-time loops against one server on host 0 (incast topology — the
+// fan-in converges on the server's ports and shared CPU). Each client
+// keeps up to Pipeline operations outstanding — read-ahead — and each
+// operation is a small request up and an MsgBytes response down, both
+// over reliable channels. The swept depth is the channel receive
+// window on both sides: pipelined requests land nearly back-to-back on
+// the server's preposted buffers (requests are tiny, so their wire
+// spacing is far shorter than their buffer holding time under CPU
+// backlog), and the response burst converges on the client's window
+// coming back. A window shallower than the pipeline drops the overlap;
+// the drop is recovered by RTO retransmission rather than lost — which
+// is exactly what makes shallow depths *bimodal* instead of lossy:
+// most operations complete in the fast mode, the unlucky ones pay a
+// many-millisecond recovery mode.
+
+// fsRequestBytes is the request payload: an encodeOp identity naming
+// (client, op) plus padding — small enough to never be the queue
+// pressure itself.
+const fsRequestBytes = 32
+
+// fsClient is one closed-loop client state machine, driven entirely by
+// shard-local timers and reliable-channel upcalls on its own host.
+type fsClient struct {
+	idx  int
+	eng  *sim.Engine
+	rel  *core.Reliable // client end of the channel to the server
+	cfg  Config
+	load float64
+
+	nextOp   int             // next operation index to issue
+	toIssue  int             // operations not yet issued
+	pending  map[int]float64 // op → issue time, awaiting its response
+	inflight map[uint32]int  // request frame seq → op, until settled
+	rec      clientRec
+}
+
+// start opens the pipeline: up to Pipeline slots, each beginning at a
+// jittered offset so clients decorrelate without shared randomness.
+// Every completed (or failed) operation refills its slot after a think
+// delay, keeping the outstanding count at the pipeline depth until the
+// op budget drains.
+func (c *fsClient) start() {
+	c.toIssue = c.cfg.Ops
+	k := min(c.cfg.Pipeline, c.cfg.Ops)
+	for s := 0; s < k; s++ {
+		c.eng.Schedule(sim.Duration(thinkDelay(c.cfg, c.load, c.idx, s)/4), c.issue)
+	}
+}
+
+// issue sends the next request and remembers when.
+func (c *fsClient) issue() {
+	if c.toIssue <= 0 {
+		return
+	}
+	c.toIssue--
+	op := c.nextOp
+	c.nextOp++
+	req := make([]byte, fsRequestBytes)
+	encodeOp(req, c.idx+1, op)
+	c.pending[op] = float64(c.eng.Now())
+	seq, err := c.rel.Send(req)
+	if err != nil {
+		// Closed or oversized — both are programming errors here; record
+		// the op as failed and stop issuing rather than panic mid-window.
+		delete(c.pending, op)
+		c.rec.failed++
+		c.toIssue = 0
+		return
+	}
+	c.inflight[seq] = op
+}
+
+// onResponse completes one outstanding operation — matched by the
+// echoed identity, not arrival order — then thinks and refills the
+// pipeline slot.
+func (c *fsClient) onResponse(payload []byte) {
+	op := decodeOp(payload)
+	issuedAt, ok := c.pending[op]
+	if !ok {
+		// A straggler response for an op already written off as failed
+		// (its request gave up but had in fact been delivered).
+		return
+	}
+	delete(c.pending, op)
+	now := float64(c.eng.Now())
+	c.rec.lat = append(c.rec.lat, now-issuedAt)
+	c.rec.done = append(c.rec.done, now)
+	c.rec.bytes += uint64(len(payload))
+	c.next(op)
+}
+
+// onReqSettled watches request frames leave the send queue. An ack is
+// business as usual (the response itself completes the op); an
+// abandonment after MaxAttempts means the server almost surely never
+// saw the request — the op has failed, and the slot moves on instead
+// of waiting forever.
+func (c *fsClient) onReqSettled(seq uint32, acked bool) {
+	op, ok := c.inflight[seq]
+	if !ok {
+		return
+	}
+	delete(c.inflight, seq)
+	if acked {
+		return
+	}
+	if _, ok := c.pending[op]; !ok {
+		return
+	}
+	delete(c.pending, op)
+	c.rec.failed++
+	c.next(op)
+}
+
+func (c *fsClient) next(op int) {
+	if c.toIssue > 0 {
+		c.eng.Schedule(sim.Duration(thinkDelay(c.cfg, c.load, c.idx, op+c.cfg.Pipeline)), c.issue)
+	}
+}
+
+// runFileServer executes one file-server operating point.
+func runFileServer(cfg Config, sem core.Semantics, depth int, load float64, workers int) (*pointRaw, error) {
+	hosts := cfg.Clients + 1
+	c, err := clusterFor(cfg, depth, cfg.Clients, topo.Incast(hosts), workers)
+	if err != nil {
+		return nil, err
+	}
+	server := c.Host(0).Genie.NewProcess()
+	resp := make([]byte, cfg.MsgBytes)
+	fillPayload(resp)
+
+	clients := make([]*fsClient, cfg.Clients)
+	rels := make([]*core.Reliable, 0, 2*cfg.Clients)
+	for i := range clients {
+		p := c.Host(i + 1).Genie.NewProcess()
+		// The swept depth is the channel receive window — the queue of
+		// preposted buffers absorbing the request/response fan-in per port.
+		rCli, rSrv, err := c.ConnectReliable(p, server, sem, cfg.MsgBytes, depth, relConfig(cfg))
+		if err != nil {
+			return nil, err
+		}
+		cl := &fsClient{
+			idx:      i,
+			eng:      c.Sim.Shard(i + 1),
+			rel:      rCli,
+			cfg:      cfg,
+			load:     load,
+			pending:  make(map[int]float64),
+			inflight: make(map[uint32]int),
+		}
+		// The server's reply runs inside the server shard's window; the
+		// response re-stamps the shared fill with the request's identity
+		// (Send copies synchronously, so one buffer serves every reply).
+		rSrv.OnDeliver(func(_ uint32, payload []byte) {
+			encodeOp(resp, int(payload[0]), decodeOp(payload))
+			_, _ = rSrv.Send(resp)
+		})
+		rCli.OnDeliver(func(_ uint32, payload []byte) { cl.onResponse(payload) })
+		rCli.OnSettled(cl.onReqSettled)
+		clients[i] = cl
+		rels = append(rels, rCli, rSrv)
+	}
+	for _, cl := range clients {
+		cl.start()
+	}
+	c.Run()
+
+	raw := &pointRaw{clients: make([]clientRec, cfg.Clients)}
+	for i, cl := range clients {
+		raw.clients[i] = cl.rec
+	}
+	sumReliableStats(raw, rels...)
+	collectCluster(raw, c, 0)
+	return raw, nil
+}
