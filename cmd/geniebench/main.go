@@ -66,6 +66,13 @@
 // The sweep runs at every -workers count and the digests must match
 // bit for bit; exit status is nonzero on divergence, or when
 // -requiretransition names a semantics whose transition is not finite.
+// Independent grid points fan across -pointworkers goroutines (default:
+// the shared -parallel setting) while -workers parallelizes inside one
+// point's cluster engine; every point reuses a Reset cluster from the
+// recycler and the workload-point memo serves repeat worker counts
+// without resimulating (-norecycle and -nomemo restore the cold path —
+// output is byte-identical either way). -minspeedup additionally times
+// the serial cold regime and gates on the optimized speedup over it.
 package main
 
 import (

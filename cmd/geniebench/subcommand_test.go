@@ -119,6 +119,70 @@ func TestCLIWorkload(t *testing.T) {
 	}
 }
 
+// The optimization flags: -pointworkers fans grid points out without
+// perturbing the digest, -minspeedup times the serial cold regime and
+// reports the speedup plus the perf counters, and -nomemo/-norecycle
+// run cold while still matching bit for bit.
+func TestCLIWorkloadPointWorkers(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "wl.json")
+	args := []string{"workload",
+		"-semantics", "copy", "-depths", "1,4", "-loads", "0.5,2",
+		"-ops", "6", "-workers", "1,2"}
+	code, stdout, stderr := runCLI(t, append(args,
+		"-pointworkers", "8", "-minspeedup", "0.1", "-json", jsonPath)...)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"point-workers=8", "speedup", "bit-identical"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "workload perf:") {
+		t.Errorf("stderr missing perf summary:\n%s", stderr)
+	}
+	var rep experiments.WorkloadReport
+	buf, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("bad -json document: %v", err)
+	}
+	if rep.PointWorkers != 8 || !rep.Deterministic {
+		t.Errorf("report: point workers %d deterministic %v", rep.PointWorkers, rep.Deterministic)
+	}
+	if rep.SerialColdSec <= 0 || rep.OptimizedSec <= 0 || rep.Speedup <= 0 {
+		t.Errorf("speedup fields missing: cold=%v optimized=%v speedup=%v",
+			rep.SerialColdSec, rep.OptimizedSec, rep.Speedup)
+	}
+	if rep.Perf.WorkloadMemoMisses == 0 {
+		t.Errorf("perf block missing workload memo counters: %+v", rep.Perf)
+	}
+
+	coldDigest := rep.Runs[0].Digest
+	code, stdout, stderr = runCLI(t, append(args, "-nomemo", "-norecycle")...)
+	if code != 0 {
+		t.Fatalf("cold run exit code %d\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, coldDigest) {
+		t.Errorf("cold run digest differs from optimized run %s:\n%s", coldDigest, stdout)
+	}
+}
+
+// An unmeetable -minspeedup floor fails the run with exit 1.
+func TestCLIWorkloadSpeedupGateFails(t *testing.T) {
+	code, _, stderr := runCLI(t, "workload",
+		"-semantics", "copy", "-depths", "1", "-loads", "1",
+		"-ops", "4", "-workers", "1", "-minspeedup", "1e9")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "speedup") {
+		t.Errorf("stderr missing speedup diagnostic:\n%s", stderr)
+	}
+}
+
 // The gate fails when the named semantics never leaves the bimodal
 // regime — the stream scenario under overload.
 func TestCLIWorkloadGateFails(t *testing.T) {

@@ -113,15 +113,32 @@ func runWorkloadCmd(args []string, stdout, stderr io.Writer) int {
 	requireTransition := fs.String("requiretransition", "",
 		"exit nonzero unless this semantics' rule-3 transition depth is finite (CI gate)")
 	jsonPath := fs.String("json", "", "write the full report as JSON to this path")
-	parallel := fs.Int("parallel", 0, "worker goroutines for the harness (0 = leave default)")
+	parallel := fs.Int("parallel", 0,
+		"worker goroutines for the harness; workload points fan across this many unless -pointworkers overrides (0 = leave default)")
+	pointWorkers := fs.Int("pointworkers", 0,
+		"goroutines for independent (semantics, depth, load) points — a different axis from -workers, which parallelizes inside one point's cluster (0 = adopt -parallel, 1 = serial)")
+	noMemo := fs.Bool("nomemo", false, "disable the workload-point memo (later -workers runs recompute every point)")
+	noRecycle := fs.Bool("norecycle", false, "disable cluster recycling (every point builds a fresh cluster)")
+	minSpeedup := fs.Float64("minspeedup", 0,
+		"also time the serial/cold regime and exit nonzero unless optimized/cold speedup meets this floor (CI gate)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *parallel > 0 {
 		experiments.SetParallelism(*parallel)
 	}
+	if *noMemo {
+		workload.SetPointMemo(false)
+		defer workload.SetPointMemo(true)
+	}
+	if *noRecycle {
+		workload.SetClusterRecycling(false)
+		defer workload.SetClusterRecycling(true)
+	}
 
 	cfg := experiments.WorkloadConfig{}
+	cfg.PointWorkers = *pointWorkers
+	cfg.CompareSerialCold = *minSpeedup > 0
 	cfg.Scenario = *scenario
 	cfg.Clients = *clients
 	cfg.Ops = *ops
@@ -191,9 +208,20 @@ func runWorkloadCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "geniebench: wrote %s\n", *jsonPath)
 	}
 
+	fmt.Fprintf(stderr,
+		"geniebench: workload perf: memo %d hits / %d misses / %d waits, clusters %d recycled / %d built\n",
+		rep.Perf.WorkloadMemoHits, rep.Perf.WorkloadMemoMisses, rep.Perf.WorkloadMemoWaits,
+		rep.Perf.ClustersRecycled, rep.Perf.ClustersBuilt)
+
 	code := 0
 	if !rep.Deterministic {
 		fmt.Fprintf(stderr, "geniebench: FAIL: workload digests diverge across worker counts\n")
+		code = 1
+	}
+	if *minSpeedup > 0 && rep.Speedup < *minSpeedup {
+		fmt.Fprintf(stderr,
+			"geniebench: FAIL: workload speedup %.2fx over serial cold, want >= %.2fx\n",
+			rep.Speedup, *minSpeedup)
 		code = 1
 	}
 	if *requireTransition != "" {
@@ -249,6 +277,11 @@ func printWorkloadReport(stdout io.Writer, rep *experiments.WorkloadReport) {
 	if !rep.Deterministic {
 		verdict = "DIGESTS DIVERGE"
 	}
-	fmt.Fprintf(stdout, "workload %s: %s (GOMAXPROCS=%d, NumCPU=%d)\n",
-		res.Scenario, verdict, rep.GOMAXPROCS, rep.NumCPU)
+	fmt.Fprintf(stdout, "workload %s: %s (GOMAXPROCS=%d, NumCPU=%d, point-workers=%d)\n",
+		res.Scenario, verdict, rep.GOMAXPROCS, rep.NumCPU, rep.PointWorkers)
+	if rep.SerialColdSec > 0 {
+		fmt.Fprintf(stdout,
+			"workload %s: serial cold %.3fs, optimized %.3fs, speedup %.2fx\n",
+			res.Scenario, rep.SerialColdSec, rep.OptimizedSec, rep.Speedup)
+	}
 }

@@ -138,6 +138,23 @@ func WithWorkloadWorkers(workers ...int) WorkloadOption {
 	return func(o *workloadOptions) { o.cfg.Workers = workers }
 }
 
+// WithPointWorkers sets the number of goroutines independent
+// (semantics, depth, load) points fan across — a different axis from
+// WithWorkloadWorkers, which parallelizes inside one point's cluster
+// engine. 0 (the default) adopts the package-wide parallelism; 1 walks
+// the grid serially. The digest is byte-identical at any value.
+func WithPointWorkers(n int) WorkloadOption {
+	return func(o *workloadOptions) { o.cfg.PointWorkers = n }
+}
+
+// WithSerialColdComparison additionally times the whole verification
+// run in the serial/cold regime (no point parallelism, no memo, no
+// cluster recycling) and reports the optimized run's speedup over it;
+// the cold digest participates in the determinism verdict.
+func WithSerialColdComparison() WorkloadOption {
+	return func(o *workloadOptions) { o.cfg.CompareSerialCold = true }
+}
+
 // RunWorkload executes one closed-loop workload sweep at every
 // configured worker count, digest-compares the runs, and returns the
 // serial baseline's schemes with the determinism verdict.

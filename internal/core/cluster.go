@@ -126,6 +126,51 @@ func (c *Cluster) Workers() int { return c.Sim.Workers() }
 // Injector returns host i's fault injector, nil when faults are off.
 func (c *Cluster) Injector(i int) *faults.Injector { return c.injs[i] }
 
+// Reset returns the whole cluster object graph to its post-construction
+// state without reallocating it: engine shards (clocks, wheels, arenas)
+// and staged cross-posts rewind, the fabric forgets its routes and
+// idles every egress port, and each host's physical memory, VM system,
+// adapter, and Genie instance are rewound exactly as Testbed.Reset
+// rewinds a pairwise host. The port allocator restarts at zero, so
+// channels reopened on a recycled cluster get the identical (host,
+// port) circuits a fresh cluster would assign — which is what makes a
+// recycled cluster simulate bit-identically to a newly built one.
+// Processes, endpoints, and reliable channels created before the Reset
+// must not be used afterwards. Per-host fault injectors rewind last,
+// mirroring Testbed.Reset: component resets (pool Reacquire, kernel
+// pool rebuild) must never see injected failures, and the rewound PRNGs
+// replay the identical per-host fault scripts.
+func (c *Cluster) Reset() error {
+	c.Sim.Reset()
+	c.Fabric.Reset()
+	c.nextPort = 0
+	for i, h := range c.Hosts {
+		h.Phys.Reset()
+		h.Sys.Reset()
+		if c.cfg.DemandPaging {
+			h.Sys.EnableDemandPaging(0)
+		}
+		// NIC before Genie: the overlay pool was constructed before the
+		// kernel pool, and identical frame assignment needs the same
+		// allocation order.
+		if err := h.NIC.Reset(); err != nil {
+			return fmt.Errorf("core: reset cluster host %d: %w", i, err)
+		}
+		if err := h.Genie.Reset(); err != nil {
+			return fmt.Errorf("core: reset cluster host %d: %w", i, err)
+		}
+	}
+	for i, inj := range c.injs {
+		if inj == nil {
+			continue
+		}
+		inj.Reset()
+		c.Hosts[i].NIC.SetFaultInjector(inj)
+		c.Hosts[i].Phys.SetAllocFault(inj.FailAlloc)
+	}
+	return nil
+}
+
 // Run advances the whole cluster until no events remain on any shard,
 // returning the final cluster time.
 func (c *Cluster) Run() sim.Time { return c.Sim.Run() }

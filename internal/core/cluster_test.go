@@ -96,6 +96,14 @@ func clusterTraffic(t *testing.T, workers int, seed int64) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return clusterTrafficOn(t, c, cfg, seed)
+}
+
+// clusterTrafficOn runs the seeded traffic script on an existing
+// cluster (fresh or Reset) and returns the determinism digest.
+func clusterTrafficOn(t *testing.T, c *Cluster, cfg ClusterConfig, seed int64) string {
+	t.Helper()
+	hosts := cfg.Topo.Hosts
 	procs := make([]*Process, hosts)
 	for i := range procs {
 		procs[i] = c.Host(i).Genie.NewProcess()

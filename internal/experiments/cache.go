@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/workload"
 )
 
 // cacheKey identifies one measurement point up to simulation
@@ -223,17 +224,42 @@ type PerfStats struct {
 	// MaxRelErr is the worst analytic-vs-simulated relative error
 	// observed by any spot check since the last reset.
 	MaxRelErr float64 `json:"max_rel_err,omitempty"`
+	// WorkloadMemoHits counts workload sweep points served by a
+	// completed entry of the workload-point memo.
+	WorkloadMemoHits uint64 `json:"workload_memo_hits,omitempty"`
+	// WorkloadMemoMisses counts workload sweep points simulated from
+	// scratch.
+	WorkloadMemoMisses uint64 `json:"workload_memo_misses,omitempty"`
+	// WorkloadMemoWaits counts workload sweep points that blocked on
+	// another point worker computing the same point (single-flight).
+	WorkloadMemoWaits uint64 `json:"workload_memo_waits,omitempty"`
+	// ClustersBuilt counts multi-host clusters constructed from scratch
+	// for workload sweep points.
+	ClustersBuilt uint64 `json:"clusters_built,omitempty"`
+	// ClustersRecycled counts workload sweep points served by a Reset
+	// cluster from a free list instead of a fresh construction.
+	ClustersRecycled uint64 `json:"clusters_recycled,omitempty"`
+	// ClusterResetFailures counts clusters dropped because Reset failed;
+	// always zero unless a simulation leaked state.
+	ClusterResetFailures uint64 `json:"cluster_reset_failures,omitempty"`
 }
 
 // Perf returns a snapshot of the package-wide performance counters.
 func Perf() PerfStats {
+	wl := workload.Perf()
 	st := PerfStats{
-		TestbedsBuilt:       testbedsBuilt.Load(),
-		TestbedsRecycled:    testbedsRecycled.Load(),
-		ResetFailures:       testbedResetFailures.Load(),
-		AnalyticPoints:      analyticPoints.Load(),
-		SimulatedSpotchecks: simulatedSpotchecks.Load(),
-		MaxRelErr:           math.Float64frombits(analyticMaxRelErr.Load()),
+		TestbedsBuilt:        testbedsBuilt.Load(),
+		TestbedsRecycled:     testbedsRecycled.Load(),
+		ResetFailures:        testbedResetFailures.Load(),
+		AnalyticPoints:       analyticPoints.Load(),
+		SimulatedSpotchecks:  simulatedSpotchecks.Load(),
+		MaxRelErr:            math.Float64frombits(analyticMaxRelErr.Load()),
+		WorkloadMemoHits:     wl.MemoHits,
+		WorkloadMemoMisses:   wl.MemoMisses,
+		WorkloadMemoWaits:    wl.MemoWaits,
+		ClustersBuilt:        wl.ClustersBuilt,
+		ClustersRecycled:     wl.ClustersRecycled,
+		ClusterResetFailures: wl.ClusterResetFailures,
 	}
 	if c := measureCache.Load(); c != nil {
 		st.CacheHits = c.hits.Load()
@@ -258,4 +284,5 @@ func ResetPerf() {
 	analyticPoints.Store(0)
 	simulatedSpotchecks.Store(0)
 	analyticMaxRelErr.Store(0)
+	workload.ResetPerf()
 }

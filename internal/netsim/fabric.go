@@ -91,6 +91,19 @@ func (f *Fabric) Route(srcHost, port, dstHost int) error {
 	return nil
 }
 
+// Reset returns the switch to its post-construction state with every
+// attachment preserved: all virtual-circuit routes are forgotten and
+// every egress port is idle at time zero. Callers re-Route as they
+// reopen channels; Connect-style port allocators that also rewind hand
+// out the identical (host, port) circuits a fresh fabric would, so a
+// Reset fabric forwards bit-identically to a new one.
+func (f *Fabric) Reset() {
+	clear(f.routes)
+	for _, p := range f.ports {
+		p.busyUntil = 0
+	}
+}
+
 // HostOf returns the host index a NIC was attached under.
 func (f *Fabric) HostOf(nic *NIC) (int, bool) {
 	id, ok := f.index[nic]

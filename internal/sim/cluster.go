@@ -177,6 +177,24 @@ func (c *Cluster) runParallel() {
 	wg.Wait()
 }
 
+// Reset returns the cluster to its post-construction state: every shard
+// engine rewinds to time zero with no pending events (retaining its
+// event arena, free list, and wheel backings warm), and every staged
+// cross-shard post is discarded. Lookahead and worker count are
+// construction-time properties and survive. A Reset cluster advances a
+// subsequent simulation bit-identically to a freshly built one.
+func (c *Cluster) Reset() {
+	for _, s := range c.shards {
+		s.Reset()
+	}
+	for src := range c.outbox {
+		for dst := range c.outbox[src] {
+			c.outbox[src][dst] = c.outbox[src][dst][:0]
+		}
+	}
+	c.claim.Store(0)
+}
+
 // nextEvent returns the earliest live pending event time across shards.
 func (c *Cluster) nextEvent() (Time, bool) {
 	var min Time

@@ -129,10 +129,11 @@ func (c *fsClient) next(op int) {
 // runFileServer executes one file-server operating point.
 func runFileServer(cfg Config, sem core.Semantics, depth int, load float64, workers int) (*pointRaw, error) {
 	hosts := cfg.Clients + 1
-	c, err := clusterFor(cfg, depth, cfg.Clients, topo.Incast(hosts), workers)
+	c, release, err := clusterFor(cfg, depth, cfg.Clients, topo.Incast(hosts), workers)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	server := c.Host(0).Genie.NewProcess()
 	resp := make([]byte, cfg.MsgBytes)
 	fillPayload(resp)

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// The optimization stack's whole contract is observational equivalence:
+// point parallelism, cluster recycling, and the point memo may only
+// remove redundant work, never perturb a bit of it. These tests pin the
+// contract by running the same sweep in every regime and comparing the
+// full digest — which folds every latency sample, counter, and
+// high-water mark — plus the decoded schemes.
+
+// setRegime pins the memo and recycling switches for one test and
+// restores the defaults (both on) afterwards, with cold counters and
+// empty free lists on both sides.
+func setRegime(t testing.TB, memo, recycle bool) {
+	t.Helper()
+	ResetPerf()
+	SetPointMemo(memo)
+	SetClusterRecycling(recycle)
+	t.Cleanup(func() {
+		SetPointMemo(true)
+		SetClusterRecycling(true)
+		ResetPerf()
+	})
+}
+
+// regimeConfigs returns the sweeps the regime tests pin: a plain
+// multi-semantics grid and a fault-armed one (the injector streams are
+// the part of the stack most sensitive to cluster reuse — a leaked
+// stream position would show up here first).
+func regimeConfigs() map[string]Config {
+	return map[string]Config{
+		"plain": {
+			Semantics: []core.Semantics{core.Copy, core.Share},
+			Depths:    []int{1, 4},
+			Loads:     []float64{0.5, 2},
+			Ops:       6,
+		},
+		// Three loads per depth so each cluster config has several reuse
+		// opportunities per run: under -race, sync.Pool randomly drops a
+		// quarter of Puts, and a two-point grid could plausibly see zero
+		// recycles.
+		"faultarmed": {
+			Semantics: []core.Semantics{core.Copy},
+			Depths:    []int{4, 16},
+			Loads:     []float64{0.5, 1, 2},
+			Ops:       6,
+			Faults:    faults.Spec{Seed: 7, Drop: 0.02, Corrupt: 0.01},
+		},
+	}
+}
+
+// TestRegimesDigestIdentity runs each pinned sweep in four regimes —
+// serial cold, point-parallel cold, serial with cluster recycling, and
+// memo-served — and requires byte-identical digests and deep-equal
+// schemes across all of them.
+func TestRegimesDigestIdentity(t *testing.T) {
+	for name, cfg := range regimeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			setRegime(t, false, false)
+			base, err := RunParallel(cfg, 1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(regime string, got *Result, err error) {
+				t.Helper()
+				if err != nil {
+					t.Fatalf("%s: %v", regime, err)
+				}
+				if got.Digest != base.Digest {
+					t.Errorf("%s digest = %s, serial cold %s", regime, got.Digest, base.Digest)
+				}
+				if !reflect.DeepEqual(got.Schemes, base.Schemes) {
+					t.Errorf("%s schemes diverge from serial cold", regime)
+				}
+			}
+
+			// Point-parallel, still cold: 8 point workers racing over the
+			// grid must assemble the identical fold.
+			res, err := RunParallel(cfg, 1, 8)
+			check("point-parallel-8", res, err)
+
+			// Recycled: the second pass reuses Reset clusters from the
+			// first. Recycling must actually fire for the regime to be
+			// exercised.
+			SetClusterRecycling(true)
+			res, err = RunParallel(cfg, 1, 1)
+			check("recycle-warmup", res, err)
+			res, err = RunParallel(cfg, 1, 1)
+			check("recycled", res, err)
+			if p := Perf(); p.ClustersRecycled == 0 {
+				t.Error("recycled regime never reused a cluster")
+			} else if p.ClusterResetFailures != 0 {
+				t.Errorf("cluster reset failures = %d, want 0", p.ClusterResetFailures)
+			}
+
+			// Memo-served: with the memo on, a second run at a different
+			// in-cluster worker count is served entirely from cache — and
+			// must still reproduce the cold digest.
+			SetPointMemo(true)
+			res, err = RunParallel(cfg, 1, 1)
+			check("memo-warmup", res, err)
+			before := Perf()
+			res, err = RunParallel(cfg, 3, 1)
+			check("memo-served", res, err)
+			after := Perf()
+			points := uint64(len(cfg.Semantics) * len(cfg.Depths) * len(cfg.Loads))
+			if got := after.MemoHits - before.MemoHits; got != points {
+				t.Errorf("memo-served run: %d hits, want %d (one per grid point)", got, points)
+			}
+			if after.MemoMisses != before.MemoMisses {
+				t.Errorf("memo-served run recomputed %d points", after.MemoMisses-before.MemoMisses)
+			}
+		})
+	}
+}
+
+// TestPointWorkerResolution pins the fan-out arithmetic: explicit
+// counts pass through, non-positive adopts GOMAXPROCS, and the sweep
+// clamp never exceeds the grid.
+func TestPointWorkerResolution(t *testing.T) {
+	if got := ResolvePointWorkers(3); got != 3 {
+		t.Errorf("ResolvePointWorkers(3) = %d", got)
+	}
+	if got := ResolvePointWorkers(0); got < 1 {
+		t.Errorf("ResolvePointWorkers(0) = %d, want >= 1", got)
+	}
+	if got := resolvePointWorkers(64, 5); got != 5 {
+		t.Errorf("resolvePointWorkers(64, 5) = %d, want clamped to 5", got)
+	}
+	if got := resolvePointWorkers(1, 100); got != 1 {
+		t.Errorf("resolvePointWorkers(1, 100) = %d", got)
+	}
+}
+
+// TestFanOutPointsErrorDeterminism: when several racing point workers
+// hit failing grid cells, the executor must surface the lowest-index
+// failure — the one the serial walk would have stopped at — no matter
+// which worker reached it first, and must not abandon cells before it.
+func TestFanOutPointsErrorDeterminism(t *testing.T) {
+	const n = 64
+	for _, pw := range []int{1, 2, 8} {
+		errs := make([]error, n)
+		var ran [n]atomic.Bool
+		fanOutPoints(n, pw, func(i int) {
+			ran[i].Store(true)
+			if i == 17 || i == 40 {
+				errs[i] = fmt.Errorf("cell %d failed", i)
+			}
+		}, errs)
+		firstErr := -1
+		for i, err := range errs {
+			if err != nil {
+				firstErr = i
+				break
+			}
+		}
+		if firstErr != 17 {
+			t.Errorf("pw=%d: first error at index %d, want 17", pw, firstErr)
+		}
+		for i := 0; i <= 17; i++ {
+			if !ran[i].Load() {
+				t.Errorf("pw=%d: cell %d before the failure never ran", pw, i)
+			}
+		}
+	}
+}
+
+// benchConfig is the single-point benchmark workload: one semantics,
+// one depth, one load.
+func benchConfig() Config {
+	return Config{
+		Semantics: []core.Semantics{core.Copy},
+		Depths:    []int{4},
+		Loads:     []float64{1},
+		Ops:       8,
+	}
+}
+
+// BenchmarkWorkloadPointColdVsRecycled measures what cluster recycling
+// saves per operating point: cold builds the full cluster object graph
+// every iteration, recycled Resets and reuses it.
+func BenchmarkWorkloadPointColdVsRecycled(b *testing.B) {
+	cfg := benchConfig()
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunParallel(cfg, 1, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		setRegime(b, false, false)
+		run(b)
+	})
+	b.Run("recycled", func(b *testing.B) {
+		setRegime(b, false, true)
+		if _, err := RunParallel(cfg, 1, 1); err != nil { // warm the free list
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b)
+	})
+}
+
+// BenchmarkSweepSerialVsPointParallel measures the point-parallel
+// executor against the serial walk on a full default-sized grid, both
+// without the memo so every iteration really sweeps.
+func BenchmarkSweepSerialVsPointParallel(b *testing.B) {
+	cfg := Config{
+		Semantics: []core.Semantics{core.Copy, core.Share, core.EmulatedWeakMove},
+		Ops:       6,
+	}
+	for _, pw := range []int{1, 8} {
+		name := "serial"
+		if pw > 1 {
+			name = "pointworkers8"
+		}
+		b.Run(name, func(b *testing.B) {
+			setRegime(b, false, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunParallel(cfg, 1, pw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

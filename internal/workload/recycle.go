@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/faults"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+)
+
+// Cluster recycling: every sweep point needs a multi-host cluster —
+// fabric, engine shards with their timer wheels, and per host a
+// physical memory, VM system, adapter, kernel pool, and Genie instance
+// — and the serial sweep built that whole object graph only to throw
+// it away one operating point later. core.Cluster.Reset returns the
+// graph to its post-construction state without reallocating frame
+// backing stores or event arenas, so the sweep keeps free lists of
+// Reset clusters, one per distinct configuration, and points reuse them
+// instead of rebuilding. sync.Pool gives each worker (strictly, each P)
+// its own lock-free list; a Reset cluster simulates bit-identically to
+// a fresh one, so recycling cannot perturb the sweep digest.
+
+// clusterKey is the comparable identity of a cluster configuration:
+// clusters with equal keys are interchangeable after Reset. The cost
+// model enters by content fingerprint and the topology by canonical
+// string, because neither is comparable by value; the worker count is
+// part of the key because sim.Cluster fixes it at construction.
+type clusterKey struct {
+	model      uint64
+	buffering  netsim.InputBuffering
+	overlayOff int
+	frames     int
+	pool       int
+	outboard   int
+	mtu        int
+	demand     bool
+	plane      string
+	genie      core.Config
+	faults     faults.Spec
+	topo       string
+	workers    int
+}
+
+// keyFor normalizes the configuration the same way NewCluster will, so
+// explicitly defaulted and zero-valued configs share one free list.
+func keyFor(cfg core.ClusterConfig) clusterKey {
+	model := cost.Baseline()
+	if cfg.Model != nil {
+		model = cfg.Model
+	}
+	plane := mem.DataPlane(mem.Bytes)
+	if cfg.Plane != nil {
+		plane = cfg.Plane
+	}
+	genie := cfg.Genie
+	if genie == (core.Config{}) {
+		genie = core.DefaultConfig()
+	}
+	frames, pool, outboard := cfg.FramesPerHost, cfg.PoolPages, cfg.OutboardKB
+	if frames == 0 {
+		frames = 512
+	}
+	if pool == 0 {
+		pool = 64
+	}
+	if outboard == 0 {
+		outboard = 256
+	}
+	return clusterKey{
+		model:      model.Fingerprint(),
+		buffering:  cfg.Buffering,
+		overlayOff: cfg.OverlayOff,
+		frames:     frames,
+		pool:       pool,
+		outboard:   outboard,
+		mtu:        cfg.MTU,
+		demand:     cfg.DemandPaging,
+		plane:      plane.Name(),
+		genie:      genie,
+		faults:     cfg.Faults,
+		topo: fmt.Sprintf("%d/%v/%x/%x", cfg.Topo.Hosts, cfg.Topo.Pairs,
+			math.Float64bits(cfg.Topo.PerByteUS), math.Float64bits(cfg.Topo.FixedUS)),
+		workers: cfg.Workers,
+	}
+}
+
+// clusterPools maps clusterKey to a *sync.Pool of Reset *core.Cluster
+// ready for reuse.
+var clusterPools sync.Map
+
+var (
+	clustersBuilt        atomic.Uint64
+	clustersRecycled     atomic.Uint64
+	clusterResetFailures atomic.Uint64
+)
+
+// clusterRecyclingOff gates cluster reuse; false = recycling on (the
+// default).
+var clusterRecyclingOff atomic.Bool
+
+// SetClusterRecycling enables or disables cluster recycling. Disabling
+// drops nothing eagerly — pooled clusters simply stop being handed out
+// (and collected); re-enabling resumes reuse. Recycled and fresh
+// clusters simulate bit-identically, so the toggle exists for
+// benchmarking and fault isolation, not correctness.
+func SetClusterRecycling(on bool) { clusterRecyclingOff.Store(!on) }
+
+// ClusterRecyclingEnabled reports whether cluster recycling is active.
+func ClusterRecyclingEnabled() bool { return !clusterRecyclingOff.Load() }
+
+// acquireCluster returns a ready-to-use cluster for the configuration:
+// a recycled one from the free list when available, a freshly built one
+// otherwise.
+func acquireCluster(cfg core.ClusterConfig) (*core.Cluster, error) {
+	if !clusterRecyclingOff.Load() {
+		if p, ok := clusterPools.Load(keyFor(cfg)); ok {
+			if v := p.(*sync.Pool).Get(); v != nil {
+				clustersRecycled.Add(1)
+				return v.(*core.Cluster), nil
+			}
+		}
+	}
+	clustersBuilt.Add(1)
+	return core.NewCluster(cfg)
+}
+
+// releaseCluster Resets the cluster and returns it to the free list for
+// its configuration. A cluster whose Reset fails (a leaked invariant in
+// the simulation) is dropped rather than reused.
+func releaseCluster(cfg core.ClusterConfig, c *core.Cluster) {
+	if clusterRecyclingOff.Load() {
+		return
+	}
+	if err := c.Reset(); err != nil {
+		clusterResetFailures.Add(1)
+		return
+	}
+	p, _ := clusterPools.LoadOrStore(keyFor(cfg), &sync.Pool{})
+	p.(*sync.Pool).Put(c)
+}

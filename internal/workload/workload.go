@@ -27,7 +27,10 @@ package workload
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/digest"
@@ -255,12 +258,65 @@ type pointRaw struct {
 	hostStats []string
 }
 
-// Run executes the full sweep at the given worker count.
+// Run executes the full sweep at the given in-cluster worker count,
+// walking the (semantics, depth, load) grid one point at a time. It is
+// RunParallel with a single point worker.
 func Run(cfg Config, workers int) (*Result, error) {
+	return RunParallel(cfg, workers, 1)
+}
+
+// gridPoint is one cell of the sweep's canonical (semantics, depth,
+// load) grid, in the order the serial loop would visit it.
+type gridPoint struct {
+	sem   core.Semantics
+	depth int
+	load  float64
+}
+
+// RunParallel executes the full sweep, fanning independent operating
+// points across pointWorkers goroutines (<= 0 means GOMAXPROCS, 1 is
+// the strictly serial path with no goroutines). Points are
+// embarrassingly parallel — each simulates on its own cluster — and
+// results land in index-i storage, so after the fan-out the digest is
+// folded serially in canonical grid order: the Result (Digest included)
+// is byte-identical to the serial sweep at any point-worker count.
+// workers is the in-cluster shard-advance worker count each point's
+// cluster engine uses — a different axis entirely, and equally unable
+// to perturb results.
+func RunParallel(cfg Config, workers, pointWorkers int) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	grid := make([]gridPoint, 0, len(cfg.Semantics)*len(cfg.Depths)*len(cfg.Loads))
+	for _, sem := range cfg.Semantics {
+		for _, depth := range cfg.Depths {
+			for _, load := range cfg.Loads {
+				grid = append(grid, gridPoint{sem: sem, depth: depth, load: load})
+			}
+		}
+	}
+	raws := make([]*pointRaw, len(grid))
+	errs := make([]error, len(grid))
+	runCell := func(i int) {
+		g := grid[i]
+		raws[i], errs[i] = memoPoint(cfg, g.sem, g.depth, g.load, workers)
+	}
+	if pw := resolvePointWorkers(pointWorkers, len(grid)); pw == 1 {
+		for i := range grid {
+			runCell(i)
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		fanOutPoints(len(grid), pw, runCell, errs)
+	}
+
+	// Assemble and fold in canonical grid order. The fold is the exact
+	// statement sequence the serial sweep emitted inline, so the digest
+	// cannot tell the regimes apart; errors surface as the lowest-index
+	// failure — precisely the error the serial walk would have returned.
 	d := digest.New()
 	res := &Result{
 		Scenario: cfg.Scenario,
@@ -270,22 +326,25 @@ func Run(cfg Config, workers int) (*Result, error) {
 	}
 	d.Addf("workload %s clients=%d ops=%d msg=%d seed=%d\n",
 		cfg.Scenario, cfg.Clients, cfg.Ops, cfg.MsgBytes, cfg.Seed)
-	for _, sem := range cfg.Semantics {
-		scheme := Scheme{Semantics: sem.String(), TransitionDepth: -1}
-		heaviest := slices.Max(cfg.Loads)
-		for _, depth := range cfg.Depths {
-			for _, load := range cfg.Loads {
-				raw, err := runPoint(cfg, sem, depth, load, workers)
-				if err != nil {
+	heaviest := slices.Max(cfg.Loads)
+	idx := 0
+	for range cfg.Semantics {
+		g := grid[idx]
+		scheme := Scheme{Semantics: g.sem.String(), TransitionDepth: -1}
+		for range cfg.Depths {
+			for range cfg.Loads {
+				g = grid[idx]
+				if errs[idx] != nil {
 					return nil, fmt.Errorf("workload: %s %s depth=%d load=%v: %w",
-						cfg.Scenario, sem, depth, load, err)
+						cfg.Scenario, g.sem, g.depth, g.load, errs[idx])
 				}
-				pt := makePoint(cfg, depth, load, raw)
-				foldPoint(d, sem.String(), &pt, raw)
+				pt := makePoint(cfg, g.depth, g.load, raws[idx])
+				foldPoint(d, g.sem.String(), &pt, raws[idx])
 				scheme.Points = append(scheme.Points, pt)
-				if load == heaviest && !pt.Bimodal && scheme.TransitionDepth < 0 {
-					scheme.TransitionDepth = depth
+				if g.load == heaviest && !pt.Bimodal && scheme.TransitionDepth < 0 {
+					scheme.TransitionDepth = g.depth
 				}
+				idx++
 			}
 		}
 		res.Schemes = append(res.Schemes, scheme)
@@ -295,8 +354,73 @@ func Run(cfg Config, workers int) (*Result, error) {
 	return res, nil
 }
 
-// runPoint dispatches one operating point to its scenario runner.
-func runPoint(cfg Config, sem core.Semantics, depth int, load float64, workers int) (*pointRaw, error) {
+// ResolvePointWorkers reports the effective point-worker count for a
+// requested value: <= 0 selects GOMAXPROCS. Sweeps additionally clamp
+// to the number of grid points.
+func ResolvePointWorkers(pw int) int {
+	if pw <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return pw
+}
+
+// resolvePointWorkers clamps the requested point-worker count to
+// [1, n]; <= 0 selects GOMAXPROCS.
+func resolvePointWorkers(pw, n int) int {
+	pw = ResolvePointWorkers(pw)
+	if pw > n {
+		pw = n
+	}
+	if pw < 1 {
+		pw = 1
+	}
+	return pw
+}
+
+// fanOutPoints runs fn(i) for every i in [0, n) across pw worker
+// goroutines claiming indices off a shared counter. fn writes into
+// caller-owned index-i storage, so distinct indices never race. Indices
+// beyond the lowest failing one may be abandoned — the assembly loop
+// stops there anyway — but every index below it always runs.
+func fanOutPoints(n, pw int, fn func(i int), errs []error) {
+	var (
+		next   atomic.Int64
+		mu     sync.Mutex
+		errIdx = n
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	for k := pw; k > 0; k-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				abandoned := i > errIdx
+				mu.Unlock()
+				if abandoned {
+					return
+				}
+				fn(i)
+				if errs[i] != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx = i
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// computePoint dispatches one operating point to its scenario runner.
+func computePoint(cfg Config, sem core.Semantics, depth int, load float64, workers int) (*pointRaw, error) {
 	switch cfg.Scenario {
 	case FileServer:
 		return runFileServer(cfg, sem, depth, load, workers)
@@ -421,7 +545,14 @@ func pagesPerMsg(msgBytes, pageSize int) int {
 	return (msgBytes + 64 + pageSize - 1) / pageSize
 }
 
-// clusterFor builds the operating point's cluster. The receive path is
+// clusterFor acquires the operating point's cluster — a warm Reset one
+// from the recycler's free list when available, a freshly built one
+// otherwise (the two simulate bit-identically) — and returns it with
+// the release function that Resets it back onto the free list. The
+// caller must invoke release after collecting every stat it needs; the
+// cluster and everything created on it are dead afterwards.
+//
+// The receive path is
 // the paper's early-demultiplexing architecture: every preposted
 // window buffer is real committed memory for its whole lifetime
 // (kernel/aligned pool pages for the copy family, wired application
@@ -434,7 +565,7 @@ func pagesPerMsg(msgBytes, pageSize int) int {
 // (depthMsgs, in messages, across endpoints channels on the hottest
 // host): the sweep must bind at the window, not at an accidental
 // allocator ceiling.
-func clusterFor(cfg Config, depthMsgs, endpoints int, spec topo.Spec, workers int) (*core.Cluster, error) {
+func clusterFor(cfg Config, depthMsgs, endpoints int, spec topo.Spec, workers int) (*core.Cluster, func(), error) {
 	gcfg := core.DefaultConfig()
 	pageSize := 4096
 	ppm := pagesPerMsg(cfg.MsgBytes, pageSize)
@@ -452,14 +583,16 @@ func clusterFor(cfg Config, depthMsgs, endpoints int, spec topo.Spec, workers in
 		Topo:    spec,
 		Workers: workers,
 	}
-	c, err := core.NewCluster(ccfg)
+	c, err := acquireCluster(ccfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	release := func() { releaseCluster(ccfg, c) }
 	if got := c.Host(0).Genie.KernelPool().PageSize(); got != pageSize {
-		return nil, fmt.Errorf("workload: unexpected page size %d", got)
+		release()
+		return nil, nil, fmt.Errorf("workload: unexpected page size %d", got)
 	}
-	return c, nil
+	return c, release, nil
 }
 
 // collectHost reads one host's high-water marks and stat structs into

@@ -102,6 +102,11 @@ func TestFileServerSchemesDiverge(t *testing.T) {
 // per-host stat struct — must be bit-identical at any worker count,
 // and so must the reported schemes.
 func TestDeterministicAcrossWorkers(t *testing.T) {
+	// Disable the point memo so every worker count actually resimulates;
+	// with it on, the later runs would verify against cached points and
+	// the comparison would be vacuous.
+	SetPointMemo(false)
+	t.Cleanup(func() { SetPointMemo(true) })
 	cfg := Config{
 		Semantics: []core.Semantics{core.Copy, core.Share},
 		Depths:    []int{1, 4},
@@ -130,6 +135,8 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 // derived per host — and injected wire loss keeps every depth bimodal:
 // a queue cannot buffer away a lossy link.
 func TestFaultArmedDeterministic(t *testing.T) {
+	SetPointMemo(false)
+	t.Cleanup(func() { SetPointMemo(true) })
 	cfg := Config{
 		Semantics: []core.Semantics{core.Copy},
 		Depths:    []int{4, 16},
