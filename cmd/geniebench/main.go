@@ -6,6 +6,7 @@
 //	geniebench cluster      # sharded multi-host benchmarks: incast determinism + ring self-speedup
 //	geniebench chaos        # fault-injection recovery matrix
 //	geniebench workload     # closed-loop backpressure study: semantics x depth x load
+//	geniebench storage      # storage-path study: semantics x I/O size over block device + page cache
 //
 // Every subcommand takes its own flags (see `geniebench <cmd> -h`); all
 // of them share -json <path> (machine-readable report) and -parallel N
@@ -73,6 +74,18 @@
 // without resimulating (-norecycle and -nomemo restore the cold path —
 // output is byte-identical either way). -minspeedup additionally times
 // the serial cold regime and gates on the optimized speedup over it.
+//
+// # storage
+//
+// Sweeps buffering semantics x I/O size x page-cache capacity x dirty
+// threshold over the simulated storage data path — a seek/transfer-cost
+// block device under a page cache with read-ahead and threshold
+// writeback — and reports per-op CPU and latency next to hit ratios and
+// writeback-burst accounting, plus the copy-vs-move break-even on the
+// read path per cache configuration. The sweep runs at every -workers
+// count (point fan-out) and the digests must match bit for bit; exit
+// status is nonzero on divergence, or when -requirecrossover is set and
+// any configuration fails to locate a finite crossover.
 package main
 
 import (
@@ -96,6 +109,7 @@ var subcommands = []struct {
 	{"cluster", "sharded multi-host benchmarks: incast determinism + ring self-speedup", runClusterCmd},
 	{"chaos", "fault-injection recovery matrix", runChaosCmd},
 	{"workload", "closed-loop backpressure study: semantics x depth x load", runWorkloadCmd},
+	{"storage", "storage-path study: semantics x I/O size over block device + page cache", runStorageCmd},
 }
 
 // run is the testable entry point: flag or usage errors return 2,

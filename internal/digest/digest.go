@@ -49,26 +49,42 @@ func (d *Digest) Sum64() uint64 { return d.h.Sum64() }
 func (d *Digest) Hex() string { return fmt.Sprintf("%016x", d.h.Sum64()) }
 
 // PayloadSum is the sampling checksum folded per delivered payload: an
-// FNV-32a over the head (up to 64 bytes) plus a stride through the body
-// and the final byte. Full-byte sums would dominate the benchmarks'
-// serial app-time section and mask engine self-speedup; the head
-// carries the per-message stamp that distinguishes every message
-// anyway, and the stride catches gross body corruption.
+// FNV-32a over a fixed sample of byte positions. The sampled set is the
+// head (up to 64 bytes), a 101-byte stride through the body, and the
+// final byte; each sampled position is mixed exactly once, in ascending
+// position order. Full-byte sums would dominate the benchmarks' serial
+// app-time section and mask engine self-speedup; the head carries the
+// per-message stamp that distinguishes every message anyway, the stride
+// catches gross body corruption, and the final byte catches
+// truncation-with-padding.
+//
+// (An earlier version mixed the final byte a second time whenever the
+// head or the stride had already covered it, which weakened the
+// corruption check: for short payloads a flip of the last byte was
+// folded twice, and the sum of a payload could collide with the sum of
+// the same bytes sampled through a different overlap. The fold is now
+// position-set based, so equal payloads — and only equal sampled
+// positions — produce equal sums.)
 func PayloadSum(payload []byte) uint32 {
 	sum := uint32(2166136261)
 	mix := func(b byte) { sum = (sum ^ uint32(b)) * 16777619 }
-	head := len(payload)
+	n := len(payload)
+	head := n
 	if head > 64 {
 		head = 64
 	}
 	for _, b := range payload[:head] {
 		mix(b)
 	}
-	for i := head; i < len(payload); i += 101 {
+	strodeLast := false
+	for i := head; i < n; i += 101 {
 		mix(payload[i])
+		strodeLast = i == n-1
 	}
-	if len(payload) > 0 {
-		mix(payload[len(payload)-1])
+	// The final byte, unless the head loop (n <= head) or the stride
+	// already mixed it.
+	if n > head && !strodeLast {
+		mix(payload[n-1])
 	}
 	return sum
 }

@@ -242,6 +242,21 @@ type PerfStats struct {
 	// ClusterResetFailures counts clusters dropped because Reset failed;
 	// always zero unless a simulation leaked state.
 	ClusterResetFailures uint64 `json:"cluster_reset_failures,omitempty"`
+	// StorageMemoHits counts storage sweep points served by a completed
+	// entry of the storage-point memo.
+	StorageMemoHits uint64 `json:"storage_memo_hits,omitempty"`
+	// StorageMemoMisses counts storage sweep points simulated from
+	// scratch.
+	StorageMemoMisses uint64 `json:"storage_memo_misses,omitempty"`
+	// StorageMemoWaits counts storage sweep points that blocked on
+	// another worker computing the same point (single-flight).
+	StorageMemoWaits uint64 `json:"storage_memo_waits,omitempty"`
+	// StorageRigsBuilt counts testbed+storage rigs constructed from
+	// scratch for storage sweep points.
+	StorageRigsBuilt uint64 `json:"storage_rigs_built,omitempty"`
+	// StorageRigsRecycled counts storage sweep points served by a Reset
+	// rig from a free list instead of a fresh construction.
+	StorageRigsRecycled uint64 `json:"storage_rigs_recycled,omitempty"`
 }
 
 // Perf returns a snapshot of the package-wide performance counters.
@@ -260,6 +275,11 @@ func Perf() PerfStats {
 		ClustersBuilt:        wl.ClustersBuilt,
 		ClustersRecycled:     wl.ClustersRecycled,
 		ClusterResetFailures: wl.ClusterResetFailures,
+		StorageMemoHits:      storageMemoHits.Load(),
+		StorageMemoMisses:    storageMemoMisses.Load(),
+		StorageMemoWaits:     storageMemoWaits.Load(),
+		StorageRigsBuilt:     storageRigsBuilt.Load(),
+		StorageRigsRecycled:  storageRigsRecycled.Load(),
 	}
 	if c := measureCache.Load(); c != nil {
 		st.CacheHits = c.hits.Load()
@@ -284,5 +304,6 @@ func ResetPerf() {
 	analyticPoints.Store(0)
 	simulatedSpotchecks.Store(0)
 	analyticMaxRelErr.Store(0)
+	resetStoragePerf()
 	workload.ResetPerf()
 }

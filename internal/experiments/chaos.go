@@ -271,14 +271,27 @@ func runChaosPoint(tb *core.Testbed, cfg ChaosConfig, scheme netsim.InputBufferi
 		violate("engine queue not drained: %d events pending", n)
 	}
 	for i, h := range []*core.Host{tb.A, tb.B} {
-		if p := h.NIC.Pool(); p != nil && p.Free() != p.Total() {
-			violate("%s overlay pool leaked: %d/%d free", h.Name, p.Free(), p.Total())
+		if p := h.NIC.Pool(); p != nil {
+			if p.Free() != p.Total() {
+				violate("%s overlay pool leaked: %d/%d free", h.Name, p.Free(), p.Total())
+			}
+			if n := p.Underflows(); n != 0 {
+				violate("%s overlay pool gauge underflowed %d times (double release?)", h.Name, n)
+			}
 		}
-		if o := h.NIC.Outboard(); o != nil && o.Free() != o.Capacity() {
-			violate("%s outboard leaked: %d/%d bytes free", h.Name, o.Free(), o.Capacity())
+		if o := h.NIC.Outboard(); o != nil {
+			if o.Free() != o.Capacity() {
+				violate("%s outboard leaked: %d/%d bytes free", h.Name, o.Free(), o.Capacity())
+			}
+			if n := o.Underflows(); n != 0 {
+				violate("%s outboard gauge underflowed %d times (double free?)", h.Name, n)
+			}
 		}
 		if kp := h.Genie.KernelPool(); kp.Free() != kp.Total() {
 			violate("%s kernel pool leaked: %d/%d free", h.Name, kp.Free(), kp.Total())
+		}
+		if n := h.Genie.KernelPool().Underflows(); n != 0 {
+			violate("%s kernel pool gauge underflowed %d times", h.Name, n)
 		}
 		if got := h.Phys.FreeFrames(); got != baseFree[i] {
 			violate("%s leaked frames: %d free, baseline %d", h.Name, got, baseFree[i])

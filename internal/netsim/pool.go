@@ -83,6 +83,11 @@ func (p *OverlayPool) HighWater() int { return p.hwm.High() }
 // so a sweep can measure each operating point from a clean gauge.
 func (p *OverlayPool) ResetHighWater() { p.hwm.Reset() }
 
+// Underflows reports how often the occupancy gauge was driven below
+// zero — a double Put or unbalanced Refill. Conservation audits assert
+// it is zero alongside the free-count checks.
+func (p *OverlayPool) Underflows() uint64 { return p.hwm.Underflows() }
+
 // gauge re-levels the occupancy gauge from the free count. Called after
 // every mutation of free; Set is self-correcting, so consume/refill
 // cycles (move semantics) settle back to true occupancy.
@@ -200,6 +205,10 @@ func (o *OutboardMemory) HighWater() int { return o.hwm.High() }
 // ResetHighWater clears the high-water mark without touching staged
 // buffers.
 func (o *OutboardMemory) ResetHighWater() { o.hwm.Reset() }
+
+// Underflows reports how often the staged-bytes gauge was driven below
+// zero — a double Free of an outboard buffer.
+func (o *OutboardMemory) Underflows() uint64 { return o.hwm.Underflows() }
 
 // Reset discards all staged buffers, returning the adapter memory to
 // its post-construction state (high-water mark included). Outstanding

@@ -132,20 +132,34 @@ func (q *Quantiles) Summary() LatencySummary {
 // HighWater is a gauge that remembers the highest level it ever held —
 // the memory high-water marks of the paper's pools under closed-loop
 // load. The zero value is ready to use at level 0.
+//
+// Levels are occupancy counts and can never legitimately go negative: a
+// negative level means some pool released more than it acquired (a
+// double release or unbalanced accounting). Rather than silently
+// recording the impossible level, Set clamps it to zero and counts the
+// underflow; conservation audits assert Underflows() == 0 alongside
+// their free-count checks.
 type HighWater struct {
-	level int
-	high  int
+	level      int
+	high       int
+	underflows uint64
 }
 
-// Set moves the gauge to an absolute level.
+// Set moves the gauge to an absolute level. Negative levels are clamped
+// to zero and recorded as underflows.
 func (h *HighWater) Set(level int) {
+	if level < 0 {
+		h.underflows++
+		level = 0
+	}
 	h.level = level
 	if level > h.high {
 		h.high = level
 	}
 }
 
-// Add moves the gauge by delta and returns the new level.
+// Add moves the gauge by delta and returns the new level (clamped at
+// zero; a clamp is recorded as an underflow).
 func (h *HighWater) Add(delta int) int {
 	h.Set(h.level + delta)
 	return h.level
@@ -157,7 +171,11 @@ func (h *HighWater) Level() int { return h.level }
 // High returns the highest level ever set.
 func (h *HighWater) High() int { return h.high }
 
-// Reset returns the gauge to level 0 with no recorded high. Pools call
-// it from their recycling Reset paths so a recycled component reports
-// the same marks a fresh one would.
+// Underflows returns how many times the gauge was asked to go below
+// zero — always zero for a correctly balanced pool.
+func (h *HighWater) Underflows() uint64 { return h.underflows }
+
+// Reset returns the gauge to level 0 with no recorded high and no
+// recorded underflows. Pools call it from their recycling Reset paths
+// so a recycled component reports the same marks a fresh one would.
 func (h *HighWater) Reset() { *h = HighWater{} }

@@ -165,3 +165,37 @@ func TestHighWater(t *testing.T) {
 		t.Errorf("after Reset: level %d high %d", h.Level(), h.High())
 	}
 }
+
+func TestHighWaterUnderflow(t *testing.T) {
+	var h HighWater
+	h.Add(2)
+	h.Add(-2)
+	if h.Underflows() != 0 {
+		t.Fatalf("balanced gauge recorded %d underflows", h.Underflows())
+	}
+	// A double release: the level clamps at zero instead of going
+	// negative, and the violation is counted.
+	if lvl := h.Add(-1); lvl != 0 {
+		t.Errorf("underflowed Add returned level %d, want clamp to 0", lvl)
+	}
+	if h.Underflows() != 1 {
+		t.Errorf("Underflows() = %d after one underflow", h.Underflows())
+	}
+	h.Set(-5)
+	if h.Level() != 0 || h.Underflows() != 2 {
+		t.Errorf("Set(-5): level %d underflows %d, want 0/2", h.Level(), h.Underflows())
+	}
+	// The high-water mark is unaffected by clamped excursions, and
+	// recovery from a clamp resumes normal accounting from zero.
+	if h.High() != 2 {
+		t.Errorf("high %d perturbed by underflow, want 2", h.High())
+	}
+	h.Add(3)
+	if h.Level() != 3 || h.High() != 3 {
+		t.Errorf("post-clamp Add: level %d high %d, want 3/3", h.Level(), h.High())
+	}
+	h.Reset()
+	if h.Underflows() != 0 {
+		t.Errorf("Reset must clear underflows, got %d", h.Underflows())
+	}
+}

@@ -93,6 +93,13 @@ func (o *MemObject) pagedOut(pi int) (*MemObject, bool) {
 // into an application (move-semantics input).
 func (o *MemObject) InsertKernelPage(pi int, f *mem.Frame) { o.insertPage(pi, f) }
 
+// RemoveKernelPage detaches page pi from a kernel-owned object and
+// returns its frame (nil if not resident) without releasing it — the
+// donation and eviction primitive of the page cache: a detached frame
+// either moves to an application region (page-flip reads) or goes back
+// to physical memory.
+func (o *MemObject) RemoveKernelPage(pi int) *mem.Frame { return o.removePage(pi) }
+
 // insertPage attaches frame f as page pi of the object. The frame must
 // already be allocated (attached) in physical memory.
 func (o *MemObject) insertPage(pi int, f *mem.Frame) {
